@@ -1,0 +1,766 @@
+(* Benchmark / experiment harness.
+
+   Regenerates every table and figure of the paper's evaluation
+   (Section 7) on the synthetic substitute workloads documented in
+   DESIGN.md, plus the ablation tables DESIGN.md calls out. Each
+   section prints the data series the corresponding figure plots.
+
+   Run:  dune exec bench/main.exe            (all experiments)
+         dune exec bench/main.exe -- fig2 tabB ...   (a subset)
+         dune exec bench/main.exe -- --quick  (reduced sizes)  *)
+
+let quick = ref false
+
+let csv_dir = ref None
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* optional plot-ready data files: enabled with --csv [DIR] *)
+let csv_out name header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (String.concat "," header);
+    output_char oc '\n';
+    List.iter
+      (fun row ->
+        output_string oc (String.concat "," (List.map (Printf.sprintf "%.9e") row));
+        output_char oc '\n')
+      rows;
+    close_out oc;
+    Printf.printf "[csv] wrote %s (%d rows)\n" path (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* small bechamel wrapper: estimated ns/run of a thunk                 *)
+
+let measure_ns name fn =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) ols [] with
+  | [ v ] -> (
+    match Analyze.OLS.estimates v with Some [ ns ] -> ns | _ -> nan)
+  | _ -> nan
+
+(* ------------------------------------------------------------------ *)
+(* workloads                                                           *)
+
+let peec_mna () =
+  let segments = if !quick then 40 else 120 in
+  let nl, out_l = Circuit.Generators.peec_mesh ~segments () in
+  let mna = Circuit.Mna.assemble_lc nl in
+  let w = Circuit.Mna.observe_inductor_current nl mna out_l in
+  (nl, Circuit.Mna.append_output_column mna w "i_out")
+
+let package_mna () =
+  let pins = if !quick then 16 else 64 in
+  let sections = if !quick then 4 else 10 in
+  let nl = Circuit.Generators.package_model ~pins ~signal_pins:8 ~sections () in
+  (nl, Circuit.Mna.assemble nl)
+
+let bus_netlist () =
+  let wires = if !quick then 6 else 17 in
+  let sections = if !quick then 20 else 79 in
+  Circuit.Generators.coupled_rc_bus ~terminate:250.0 ~wires ~sections ()
+
+let reduce_banded mna ~order ~band =
+  let opts = { (Sympvl.Reduce.default ~order) with Sympvl.Reduce.band = Some band } in
+  Sympvl.Reduce.mna ~opts ~order mna
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2 — PEEC LC two-port transfer function                         *)
+
+let fig2 () =
+  section "Fig. 2: PEEC circuit transfer function (LC two-port, s^2 pencil)";
+  let nl, mna = peec_mna () in
+  Printf.printf "workload: %s -> N = %d, p = 2 (drive + inductor-current output)\n"
+    (Format.asprintf "%a" Circuit.Netlist.pp_stats (Circuit.Netlist.stats nl))
+    mna.Circuit.Mna.n;
+  let band = (1e8, 5e9) in
+  let orders = [ 50; 56 ] in
+  let t0 = Sys.time () in
+  let models = List.map (fun order -> (order, reduce_banded mna ~order ~band)) orders in
+  let t_reduce = Sys.time () -. t0 in
+  let freqs = Simulate.Ac.log_freqs ~points:(if !quick then 40 else 120) 1e8 5e9 in
+  let t0 = Sys.time () in
+  let sw = Simulate.Ac.sweep mna freqs in
+  let t_exact = Sys.time () -. t0 in
+  (* the paper plots |Zin| = |s·Z11| and the transfer |Z21| *)
+  Printf.printf "\n%12s %14s %14s %14s %14s\n" "f[Hz]" "|Zin| exact" "|Zin| n=50"
+    "|Zin| n=56" "|Z21| exact";
+  Array.iteri
+    (fun k f ->
+      if k mod (Array.length freqs / 20) = 0 then begin
+        let s = Linalg.Cx.im (2.0 *. Float.pi *. f) in
+        let zin z = Linalg.Cx.abs Linalg.Cx.(s *: Linalg.Cmat.get z 0 0) in
+        let ze = sw.Simulate.Ac.z.(k) in
+        Printf.printf "%12.4e %14.6e" f (zin ze);
+        List.iter
+          (fun (_, model) -> Printf.printf " %14.6e" (zin (Sympvl.Model.eval model s)))
+          models;
+        Printf.printf " %14.6e\n" (Linalg.Cx.abs (Linalg.Cmat.get ze 1 0))
+      end)
+    freqs;
+  csv_out "fig2_peec"
+    ([ "freq_hz"; "zin_exact"; "z21_exact" ]
+    @ List.concat_map (fun (o, _) -> [ Printf.sprintf "zin_n%d" o ]) models)
+    (Array.to_list
+       (Array.mapi
+          (fun k f ->
+            let s = Linalg.Cx.im (2.0 *. Float.pi *. f) in
+            let zin z = Linalg.Cx.abs Linalg.Cx.(s *: Linalg.Cmat.get z 0 0) in
+            [ f; zin sw.Simulate.Ac.z.(k);
+              Linalg.Cx.abs (Linalg.Cmat.get sw.Simulate.Ac.z.(k) 1 0) ]
+            @ List.map (fun (_, model) -> zin (Sympvl.Model.eval model s)) models)
+          freqs));
+  (* like the paper: n = 50 gives a good match; a few more iterations
+     make it essentially perfect over the band of interest; report the
+     error on nested sub-bands to show where each order gives out *)
+  let banded_err model f_hi =
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun k f ->
+        if f <= f_hi then begin
+          let zm = Sympvl.Model.eval model (Linalg.Cx.im (2.0 *. Float.pi *. f)) in
+          let ze = sw.Simulate.Ac.z.(k) in
+          worst :=
+            Float.max !worst
+              (Linalg.Cmat.dist_max ze zm /. Float.max (Linalg.Cmat.max_abs ze) 1e-300)
+        end)
+      freqs;
+    !worst
+  in
+  Printf.printf "\n%8s %14s %14s %14s\n" "order" "err <= 2 GHz" "err <= 3.5 GHz"
+    "err <= 5 GHz";
+  List.iter
+    (fun order ->
+      let model = reduce_banded mna ~order ~band in
+      Printf.printf "%8d %14.3e %14.3e %14.3e\n" order (banded_err model 2e9)
+        (banded_err model 3.5e9) (banded_err model 5e9))
+    [ 50; 56; 64; 72 ];
+  Printf.printf "reduction time %.2fs; exact sweep (%d pts) %.2fs\n" t_reduce
+    (Array.length freqs) t_exact
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 3 and 4 — package model, 16 ports                             *)
+
+let package_figure ~out_port ~title =
+  section title;
+  let nl, mna = package_mna () in
+  Printf.printf "workload: %s -> N = %d, p = %d\n"
+    (Format.asprintf "%a" Circuit.Netlist.pp_stats (Circuit.Netlist.stats nl))
+    mna.Circuit.Mna.n
+    (Array.length mna.Circuit.Mna.port_names);
+  let band = (1e8, 1e10) in
+  let orders = [ 48; 64; 80 ] in
+  let t0 = Sys.time () in
+  let models = List.map (fun order -> (order, reduce_banded mna ~order ~band)) orders in
+  Printf.printf "reductions (orders %s): %.2fs\n"
+    (String.concat ", " (List.map string_of_int orders))
+    (Sys.time () -. t0);
+  let freqs = Simulate.Ac.log_freqs ~points:(if !quick then 30 else 90) 1e8 1e10 in
+  let t0 = Sys.time () in
+  let sw = Simulate.Ac.sweep mna freqs in
+  Printf.printf "exact sweep (%d points): %.2fs\n" (Array.length freqs) (Sys.time () -. t0);
+  (* voltage transfer |Z(out,0)/Z(0,0)| — drive pin-1 external *)
+  let transfer z = Linalg.Cx.abs Linalg.Cx.(Linalg.Cmat.get z out_port 0 /: Linalg.Cmat.get z 0 0) in
+  Printf.printf "\n%12s %12s" "f[Hz]" "exact";
+  List.iter (fun (o, _) -> Printf.printf " %10s" (Printf.sprintf "n=%d" o)) models;
+  print_newline ();
+  Array.iteri
+    (fun k f ->
+      let s = Linalg.Cx.im (2.0 *. Float.pi *. f) in
+      let t_exact = transfer sw.Simulate.Ac.z.(k) in
+      let row = k mod (max 1 (Array.length freqs / 18)) = 0 in
+      if row then Printf.printf "%12.4e %12.6f" f t_exact;
+      List.iter
+        (fun (_, model) ->
+          let t_model = transfer (Sympvl.Model.eval model s) in
+          if row then Printf.printf " %10.6f" t_model)
+        models;
+      if row then print_newline ())
+    freqs;
+  csv_out
+    (if out_port = 1 then "fig3_package" else "fig4_package")
+    ([ "freq_hz"; "transfer_exact" ]
+    @ List.map (fun (o, _) -> Printf.sprintf "transfer_n%d" o) models)
+    (Array.to_list
+       (Array.mapi
+          (fun k f ->
+            let s = Linalg.Cx.im (2.0 *. Float.pi *. f) in
+            [ f; transfer sw.Simulate.Ac.z.(k) ]
+            @ List.map (fun (_, model) -> transfer (Sympvl.Model.eval model s)) models)
+          freqs));
+  (* the figures' visual story: each order tracks the exact transfer
+     up to some frequency and gives out above it; report the error on
+     nested sub-bands (the paper's "reduction level depends on the
+     desired accuracy") *)
+  let banded_err model f_hi =
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun k f ->
+        if f <= f_hi then begin
+          let s = Linalg.Cx.im (2.0 *. Float.pi *. f) in
+          let t_exact = transfer sw.Simulate.Ac.z.(k) in
+          let t_model = transfer (Sympvl.Model.eval model s) in
+          worst :=
+            Float.max !worst (Float.abs (t_model -. t_exact) /. Float.max t_exact 1e-12)
+        end)
+      freqs;
+    !worst
+  in
+  Printf.printf "%8s %14s %14s %14s\n" "order" "err <= 1 GHz" "err <= 2.5 GHz"
+    "err <= 5 GHz";
+  List.iter
+    (fun (o, model) ->
+      Printf.printf "%8d %14.3e %14.3e %14.3e\n" o (banded_err model 1e9)
+        (banded_err model 2.5e9) (banded_err model 5e9))
+    models
+
+let fig3 () =
+  package_figure ~out_port:1
+    ~title:"Fig. 3: package, pin-1 external -> pin-1 internal voltage transfer"
+
+let fig4 () =
+  package_figure ~out_port:3
+    ~title:"Fig. 4: package, pin-1 external -> pin-2 internal (coupling)"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5 + Tab. A — interconnect: synthesis + transient CPU time      *)
+
+let fig5 () =
+  section "Fig. 5 / Tab. A: crosstalk interconnect, synthesized reduced circuit";
+  let nl = bus_netlist () in
+  let stats = Circuit.Netlist.stats nl in
+  let wires = Circuit.Netlist.port_count nl in
+  Printf.printf "full netlist: %d nodes, %d R, %d C, %d ports\n"
+    stats.Circuit.Netlist.nodes stats.Circuit.Netlist.resistors
+    stats.Circuit.Netlist.capacitors wires;
+  let mna = Circuit.Mna.assemble_rc nl in
+  let names = Array.init wires (fun w -> Printf.sprintf "port%d" w) in
+  (* the paper's reduced circuit kept 2 states per port (34 for 17
+     ports); our synthetic bus is denser, so we report that size AND
+     the 4-per-port model whose waveforms are indistinguishable *)
+  let build order =
+    let t0 = Sys.time () in
+    let model = Sympvl.Reduce.mna ~order mna in
+    let t_reduce = Sys.time () -. t0 in
+    let t0 = Sys.time () in
+    let syn, sst = Synth.Multiport.synthesize ~port_names:names model in
+    let t_synth = Sys.time () -. t0 in
+    Printf.printf
+      "SyMPVL order %d (%.2fs) -> synthesized %d nodes, %d R, %d C (%d negative, %.2fs)\n"
+      order t_reduce sst.Synth.Multiport.nodes sst.Synth.Multiport.resistors
+      sst.Synth.Multiport.capacitors sst.Synth.Multiport.negative_elements t_synth;
+    (syn, sst)
+  in
+  let _syn34, sst34 = build (2 * wires) in
+  let syn, sst = build (4 * wires) in
+  Printf.printf
+    "Tab. A | paper: 1350 -> 34 nodal equations, 36620 C/1355 R -> 170 C/459 R\n";
+  Printf.printf
+    "Tab. A | ours : %d -> %d nodal equations, %d C/%d R -> %d C/%d R (2/port)\n"
+    stats.Circuit.Netlist.nodes sst34.Synth.Multiport.nodes
+    stats.Circuit.Netlist.capacitors stats.Circuit.Netlist.resistors
+    sst34.Synth.Multiport.capacitors sst34.Synth.Multiport.resistors;
+  Printf.printf
+    "Tab. A | ours : %d -> %d nodal equations, %d C/%d R -> %d C/%d R (4/port)\n"
+    stats.Circuit.Netlist.nodes sst.Synth.Multiport.nodes
+    stats.Circuit.Netlist.capacitors stats.Circuit.Netlist.resistors
+    sst.Synth.Multiport.capacitors sst.Synth.Multiport.resistors;
+  (* nonlinear loads at every port in BOTH decks (the paper's setting:
+     the linear block lives inside a nonlinear circuit simulation) *)
+  let clamp name nl node =
+    Circuit.Netlist.add nl
+      (Circuit.Netlist.Nonlinear_conductance
+         {
+           name;
+           n1 = node;
+           n2 = 0;
+           i_of_v = (fun v -> 1e-12 *. (exp (Float.min (v /. 0.05) 50.0) -. 1.0));
+           di_dv = (fun v -> 1e-12 /. 0.05 *. exp (Float.min (v /. 0.05) 50.0));
+         })
+  in
+  let drive = Circuit.Waveform.ramp ~rise:1e-9 2e-3 in
+  let dt = 1e-11 and t_stop = if !quick then 2e-9 else 6e-9 in
+  let opts = Simulate.Transient.default ~dt ~t_stop in
+  (* full deck *)
+  let full = bus_netlist () in
+  let agg = Circuit.Netlist.node full "w0s0" in
+  let vic = Circuit.Netlist.node full "w1s0" in
+  Circuit.Netlist.add_current_source full 0 agg drive;
+  Array.iteri (fun w _ ->
+      clamp (Printf.sprintf "Dl%d" w) full
+        (Circuit.Netlist.node full (Printf.sprintf "w%ds0" w)))
+    names;
+  let t0 = Sys.time () in
+  let r_full = Simulate.Transient.run ~opts ~observe:[ agg; vic ] full in
+  let t_full = Sys.time () -. t0 in
+  (* reduced deck: synthesized circuit + same loads *)
+  let agg_s = Circuit.Netlist.node syn "port0" in
+  let vic_s = Circuit.Netlist.node syn "port1" in
+  Circuit.Netlist.add_current_source syn 0 agg_s drive;
+  Array.iteri (fun w _ ->
+      clamp (Printf.sprintf "Dr%d" w) syn
+        (Circuit.Netlist.node syn (Printf.sprintf "port%d" w)))
+    names;
+  let t0 = Sys.time () in
+  let r_syn = Simulate.Transient.run ~opts ~observe:[ agg_s; vic_s ] syn in
+  let t_syn = Sys.time () -. t0 in
+  Printf.printf "\n%12s %14s %14s %14s %14s\n" "t[s]" "v_agg full" "v_agg reduced"
+    "v_vic full" "v_vic reduced";
+  let nsteps = r_full.Simulate.Transient.steps in
+  let get r idx k = (snd (List.nth r.Simulate.Transient.voltages idx)).(k) in
+  List.iter
+    (fun pct ->
+      let k = nsteps * pct / 100 in
+      Printf.printf "%12.3e %14.6f %14.6f %14.6f %14.6f\n"
+        r_full.Simulate.Transient.times.(k) (get r_full 0 k) (get r_syn 0 k)
+        (get r_full 1 k) (get r_syn 1 k))
+    [ 4; 8; 15; 25; 40; 60; 80; 100 ];
+  csv_out "fig5_transient"
+    [ "t_s"; "v_agg_full"; "v_agg_reduced"; "v_vic_full"; "v_vic_reduced" ]
+    (List.init (nsteps + 1) (fun k ->
+         [ r_full.Simulate.Transient.times.(k); get r_full 0 k; get r_syn 0 k;
+           get r_full 1 k; get r_syn 1 k ]));
+  Printf.printf "\nmax waveform deviation: %.3e V\n"
+    (Simulate.Transient.max_deviation r_full r_syn);
+  Printf.printf
+    "CPU: full %.3fs (%d unknowns, %s) vs reduced %.3fs (%d nodes, %s) -> speedup %.1fx\n"
+    t_full stats.Circuit.Netlist.nodes
+    (match r_full.Simulate.Transient.backend with `Skyline -> "skyline" | `Dense -> "dense")
+    t_syn sst.Synth.Multiport.nodes
+    (match r_syn.Simulate.Transient.backend with `Skyline -> "skyline" | `Dense -> "dense")
+    (t_full /. Float.max t_syn 1e-9);
+  Printf.printf "paper: 132s vs 2.15s -> 61x (1997 testbed; shape, not absolute, is the claim)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Tab. B — moment matching (the matrix-Padé property, §3.2)           *)
+
+let tab_b () =
+  section "Tab. B: matched moments vs 2*floor(n/p) guarantee";
+  let _, peec = peec_mna () in
+  Printf.printf "%-28s %6s %4s %9s %9s\n" "workload" "order" "p" "guarantee" "matched";
+  List.iter
+    (fun order ->
+      let model = reduce_banded peec ~order ~band:(1e8, 5e9) in
+      let matched = Sympvl.Moments.matched_count_scaled ~rtol:1e-4 model peec in
+      Printf.printf "%-28s %6d %4d %9d %9d\n" "peec (LC, s^2, shifted)" order 2
+        (2 * (order / 2)) matched)
+    [ 10; 20; 30; 40; 50 ];
+  let bus = Circuit.Generators.coupled_rc_bus ~terminate:250.0 ~wires:3 ~sections:25 () in
+  let mna = Circuit.Mna.assemble_rc bus in
+  List.iter
+    (fun order ->
+      let model = Sympvl.Reduce.mna ~order mna in
+      let matched = Sympvl.Moments.matched_count_scaled ~rtol:1e-5 model mna in
+      Printf.printf "%-28s %6d %4d %9d %9d\n" "rc bus (unshifted)" order 3
+        (2 * (order / 3)) matched)
+    [ 6; 9; 12; 15 ];
+  let rlc = Circuit.Generators.rlc_line ~r_load:50.0 ~sections:12 () in
+  let mna = Circuit.Mna.assemble rlc in
+  List.iter
+    (fun order ->
+      let model = Sympvl.Reduce.mna ~order mna in
+      let matched = Sympvl.Moments.matched_count_scaled ~rtol:1e-4 model mna in
+      Printf.printf "%-28s %6d %4d %9d %9d\n" "rlc line (indefinite J)" order 2
+        (2 * (order / 2)) matched)
+    [ 8; 12; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Tab. C — stability and passivity at every order (§5)                *)
+
+let tab_c () =
+  section "Tab. C: stability/passivity certificates for RC, RL, LC at every order";
+  let omegas =
+    Array.init 40 (fun i -> 2.0 *. Float.pi *. (10.0 ** (4.0 +. (float_of_int i /. 5.0))))
+  in
+  let cases =
+    [
+      ( "RC (coupled bus)",
+        Circuit.Mna.assemble_rc
+          (Circuit.Generators.coupled_rc_bus ~terminate:250.0 ~wires:3 ~sections:20 ()) );
+      ( "RL (shorted ladder)",
+        Circuit.Mna.assemble_rl
+          (Circuit.Generators.rl_ladder ~shorted_end:true ~sections:30 ()) );
+      ( "LC (mesh, shifted)",
+        let nl, _ = Circuit.Generators.peec_mesh ~segments:40 () in
+        Circuit.Mna.assemble_lc nl );
+    ]
+  in
+  Printf.printf "%-20s %6s %10s %14s %12s %10s\n" "case" "order" "definite"
+    "max Re(pole)" "min eig T" "passive";
+  List.iter
+    (fun (name, mna) ->
+      List.iter
+        (fun order ->
+          let model = Sympvl.Reduce.mna ~order mna in
+          let tmin = Linalg.Eig_sym.min_eigenvalue model.Sympvl.Model.t_mat in
+          let passive =
+            match Sympvl.Stability.passivity_certificate model with
+            | Sympvl.Stability.Certified -> "certified"
+            | Sympvl.Stability.Indefinite_t _ -> "VIOLATED"
+            | Sympvl.Stability.Not_applicable ->
+              if Sympvl.Stability.passivity_sample ~omegas model = None then "sampled-ok"
+              else "VIOLATED"
+          in
+          Printf.printf "%-20s %6d %10b %14.3e %12.3e %10s\n" name order
+            model.Sympvl.Model.definite
+            (Sympvl.Stability.max_pole_re model)
+            tmin passive)
+        [ 2; 5; 9; 14; 20 ])
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Tab. D — AWE explicit-moment instability vs SyPVL (§3.1, ref [5])   *)
+
+let tab_d () =
+  section "Tab. D: AWE (explicit moments) vs SyPVL (Lanczos) error by order";
+  let nl = Circuit.Generators.coupled_rc_bus ~terminate:250.0 ~wires:5 ~sections:30 () in
+  let mna = Circuit.Mna.assemble_rc nl in
+  let freqs = Simulate.Ac.log_freqs ~points:30 1e6 5e9 in
+  let sw_full = Simulate.Ac.sweep mna freqs in
+  let exact k = Linalg.Cmat.get sw_full.Simulate.Ac.z.(k) 0 0 in
+  Printf.printf "%6s %16s %16s %16s\n" "order" "AWE max err" "SyPVL max err" "Hankel rcond";
+  List.iter
+    (fun order ->
+      let sypvl = Sympvl.Reduce.scalar ~order ~port:0 mna in
+      let err_of eval =
+        let worst = ref 0.0 in
+        Array.iteri
+          (fun k f ->
+            let s = Linalg.Cx.im (2.0 *. Float.pi *. f) in
+            let e = Linalg.Cx.abs Linalg.Cx.(eval s -: exact k) /. Linalg.Cx.abs (exact k) in
+            worst := Float.max !worst e)
+          freqs;
+        !worst
+      in
+      let e_sypvl = err_of (fun s -> Linalg.Cmat.get (Sympvl.Model.eval sypvl s) 0 0) in
+      match Sympvl.Awe.build ~order ~port:0 mna with
+      | awe ->
+        let e_awe = err_of (Sympvl.Awe.eval awe) in
+        Printf.printf "%6d %16.3e %16.3e %16.3e\n" order e_awe e_sypvl
+          awe.Sympvl.Awe.hankel_rcond
+      | exception Sympvl.Awe.Breakdown msg ->
+        Printf.printf "%6d %16s %16.3e %16s\n" order ("break: " ^ msg) e_sypvl "-")
+    [ 2; 4; 6; 8; 10; 12; 14; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Tab. E — block-Arnoldi congruence [16] vs SyMPVL                    *)
+
+let tab_e () =
+  section "Tab. E: block-Arnoldi congruence projection vs SyMPVL (same order)";
+  print_endline
+    "(for symmetric definite pencils both methods project onto the same Krylov\n\
+    \ space and symmetry doubles the one-sided moment count, so identical\n\
+    \ accuracy on the RC bus is the expected result; the methods separate on\n\
+    \ the indefinite RLC pencil, where SyMPVL's J-inner product differs)";
+  let compare_on title mna orders freqs =
+    let sw = Simulate.Ac.sweep mna freqs in
+    Printf.printf "%s\n%6s %18s %18s %14s %14s\n" title "order" "SyMPVL max err"
+      "Arnoldi max err" "SyMPVL t[ms]" "Arnoldi t[ms]";
+    List.iter
+      (fun order ->
+        let t0 = Sys.time () in
+        let sympvl = Sympvl.Reduce.mna ~order mna in
+        let t1 = Sys.time () in
+        let arnoldi = Sympvl.Arnoldi.reduce ~order mna in
+        let t2 = Sys.time () in
+        let e1 =
+          Simulate.Ac.max_rel_error sw
+            (Simulate.Ac.model_sweep (Sympvl.Model.eval sympvl) freqs)
+        in
+        let e2 =
+          Simulate.Ac.max_rel_error sw
+            (Simulate.Ac.model_sweep (Sympvl.Arnoldi.eval arnoldi) freqs)
+        in
+        Printf.printf "%6d %18.3e %18.3e %14.2f %14.2f\n" order e1 e2
+          ((t1 -. t0) *. 1e3)
+          ((t2 -. t1) *. 1e3))
+      orders
+  in
+  let bus = Circuit.Generators.coupled_rc_bus ~terminate:250.0 ~wires:4 ~sections:25 () in
+  compare_on "(RC bus, p = 4, definite)" (Circuit.Mna.assemble_rc bus)
+    [ 8; 12; 16; 20; 24 ]
+    (Simulate.Ac.log_freqs ~points:30 1e7 5e9);
+  let rlc = Circuit.Generators.rlc_line ~r_load:50.0 ~sections:25 () in
+  compare_on "(RLC line, p = 2, indefinite J)" (Circuit.Mna.assemble rlc)
+    [ 10; 20; 30; 40 ]
+    (Simulate.Ac.log_freqs ~points:30 1e7 2e9)
+
+(* ------------------------------------------------------------------ *)
+(* Tab. F — ablations (DESIGN.md §5)                                   *)
+
+let tab_f () =
+  section "Tab. F1: full vs windowed J-orthogonalisation (band Lanczos)";
+  let _, mna = package_mna () in
+  let band = (1e8, 1e10) in
+  let freqs = Simulate.Ac.log_freqs ~points:20 1e8 5e9 in
+  let sw = Simulate.Ac.sweep mna freqs in
+  Printf.printf "%10s %6s %16s\n" "mode" "order" "max rel err";
+  List.iter
+    (fun (name, full_ortho) ->
+      List.iter
+        (fun order ->
+          let opts =
+            {
+              (Sympvl.Reduce.default ~order) with
+              Sympvl.Reduce.band = Some band;
+              full_ortho;
+            }
+          in
+          let model = Sympvl.Reduce.mna ~opts ~order mna in
+          let e =
+            Simulate.Ac.max_rel_error sw
+              (Simulate.Ac.model_sweep (Sympvl.Model.eval model) freqs)
+          in
+          Printf.printf "%10s %6d %16.3e\n" name order e)
+        [ 32; 64 ])
+    [ ("full", true); ("windowed", false) ];
+
+  section "Tab. F2: deflation tolerance (nearly dependent port columns)";
+  (* widen B with an extra column that is a 1e-6 perturbation of an
+     existing one: loose tolerances deflate it, tight ones keep it *)
+  let nl = Circuit.Generators.coupled_rc_bus ~terminate:250.0 ~wires:3 ~sections:15 () in
+  let mna0 = Circuit.Mna.assemble_rc nl in
+  let near_dup =
+    (* column 0 plus a 1e-6 kick on an interior node: nearly, but not
+       exactly, dependent — so the outcome is tolerance-driven *)
+    Linalg.Vec.init mna0.Circuit.Mna.n (fun i ->
+        Linalg.Mat.get mna0.Circuit.Mna.b i 0
+        +. (if i = mna0.Circuit.Mna.n / 2 then 1e-6 else 0.0))
+  in
+  let mna_dup = Circuit.Mna.append_output_column mna0 near_dup "near_dup" in
+  Printf.printf "%10s %12s %8s %16s\n" "dtol" "deflations" "order" "max rel err";
+  let freqs_dup = Simulate.Ac.log_freqs ~points:15 1e7 2e9 in
+  let sw_dup = Simulate.Ac.sweep mna_dup freqs_dup in
+  List.iter
+    (fun dtol ->
+      let opts = { (Sympvl.Reduce.default ~order:16) with Sympvl.Reduce.dtol } in
+      let model = Sympvl.Reduce.mna ~opts ~order:16 mna_dup in
+      let e =
+        Simulate.Ac.max_rel_error sw_dup
+          (Simulate.Ac.model_sweep (Sympvl.Model.eval model) freqs_dup)
+      in
+      Printf.printf "%10.0e %12d %8d %16.3e\n" dtol model.Sympvl.Model.deflations
+        model.Sympvl.Model.order e)
+    [ 1e-4; 1e-8; 1e-12 ];
+
+  section "Tab. F3: expansion-shift choice on the PEEC workload";
+  let _, peec = peec_mna () in
+  let freqs = Simulate.Ac.log_freqs ~points:25 1e8 5e9 in
+  let sw = Simulate.Ac.sweep peec freqs in
+  Printf.printf "%14s %16s\n" "shift (s^2)" "max rel err (n=40)";
+  let band_s0 = Sympvl.Reduce.band_shift peec (1e8, 5e9) in
+  List.iter
+    (fun (label, s0) ->
+      let opts =
+        { (Sympvl.Reduce.default ~order:40) with Sympvl.Reduce.shift = Some s0 }
+      in
+      let model = Sympvl.Reduce.mna ~opts ~order:40 peec in
+      let e =
+        Simulate.Ac.max_rel_error sw (Simulate.Ac.model_sweep (Sympvl.Model.eval model) freqs)
+      in
+      Printf.printf "%14s %16.3e\n" label e)
+    [
+      ("band/100", band_s0 /. 100.0);
+      ("band (mid)", band_s0);
+      ("band*100", band_s0 *. 100.0);
+      ("diag-ratio", Sympvl.Reduce.auto_shift peec);
+    ];
+
+  section "Tab. F4: RCM ordering ablation (skyline factorisation fill)";
+  let _, pkg = package_mna () in
+  let with_ordering ordering =
+    let perm =
+      if ordering then Sparse.Rcm.order pkg.Circuit.Mna.g
+      else Sparse.Rcm.identity pkg.Circuit.Mna.n
+    in
+    let shifted = Sparse.Csr.add ~alpha:1.0 ~beta:1e9 pkg.Circuit.Mna.g pkg.Circuit.Mna.c in
+    let pa = Sparse.Csr.permute_sym shifted perm in
+    let t0 = Sys.time () in
+    let fac = Sparse.Skyline.factor_real pa in
+    (Sparse.Skyline.Real.fill fac, Sys.time () -. t0)
+  in
+  let fill_rcm, t_rcm = with_ordering true in
+  let fill_nat, t_nat = with_ordering false in
+  Printf.printf "natural order: fill %d (%.3fs); RCM: fill %d (%.3fs)\n" fill_nat t_nat
+    fill_rcm t_rcm
+
+(* ------------------------------------------------------------------ *)
+(* Tab. G — SyMPVL vs MPVL: the paper's efficiency claim (§8)          *)
+
+let tab_g () =
+  section "Tab. G: SyMPVL vs the more general MPVL (paper §8 efficiency claim)";
+  print_endline
+    "(same matrix-Padé approximant on symmetric input; SyMPVL runs one\n\
+    \ J-orthogonal sequence where MPVL runs two biorthogonal ones)";
+  let nl = bus_netlist () in
+  let mna = Circuit.Mna.assemble_rc nl in
+  let freqs = Simulate.Ac.log_freqs ~points:20 1e7 2e9 in
+  let sw = Simulate.Ac.sweep mna freqs in
+  Printf.printf "%6s %14s %14s %16s %16s %10s\n" "order" "SyMPVL t[ms]" "MPVL t[ms]"
+    "SyMPVL max err" "MPVL max err" "speedup";
+  List.iter
+    (fun order ->
+      let t0 = Sys.time () in
+      let sympvl = Sympvl.Reduce.mna ~order mna in
+      let t1 = Sys.time () in
+      let mpvl = Sympvl.Mpvl.reduce ~order mna in
+      let t2 = Sys.time () in
+      let e1 =
+        Simulate.Ac.max_rel_error sw
+          (Simulate.Ac.model_sweep (Sympvl.Model.eval sympvl) freqs)
+      in
+      let e2 =
+        Simulate.Ac.max_rel_error sw (Simulate.Ac.model_sweep (Sympvl.Mpvl.eval mpvl) freqs)
+      in
+      Printf.printf "%6d %14.2f %14.2f %16.3e %16.3e %9.2fx\n" order
+        ((t1 -. t0) *. 1e3)
+        ((t2 -. t1) *. 1e3)
+        e1 e2
+        ((t2 -. t1) /. Float.max (t1 -. t0) 1e-9))
+    [ 17; 34; 51; 68 ]
+
+(* ------------------------------------------------------------------ *)
+(* Tab. H — SyMPVL vs balanced truncation (modern yardstick)           *)
+
+let tab_h () =
+  section "Tab. H: SyMPVL (Krylov/Padé) vs balanced truncation (dense yardstick)";
+  print_endline
+    "(BT carries an a-priori H-inf bound and near-optimal accuracy per state,\n\
+    \ at dense O(N^3) cost; the Krylov method trades a little accuracy for\n\
+    \ scalability — the trade the paper's whole line is about)";
+  let nl = Circuit.Generators.coupled_rc_bus ~terminate:250.0 ~wires:3 ~sections:30 () in
+  let mna = Circuit.Mna.assemble_rc nl in
+  let freqs = Simulate.Ac.log_freqs ~points:30 1e6 1e10 in
+  let sw = Simulate.Ac.sweep mna freqs in
+  Printf.printf "(N = %d, p = 3)\n%6s %16s %16s %14s %12s %12s\n" mna.Circuit.Mna.n
+    "order" "SyMPVL max err" "BT max err" "BT H∞ bound" "SyMPVL[ms]" "BT[ms]";
+  List.iter
+    (fun order ->
+      let t0 = Sys.time () in
+      let sympvl = Sympvl.Reduce.mna ~order mna in
+      let t1 = Sys.time () in
+      let bt = Sympvl.Btruncation.reduce ~order mna in
+      let t2 = Sys.time () in
+      let abs_scale =
+        Array.fold_left (fun acc z -> Float.max acc (Linalg.Cmat.max_abs z)) 1e-300 sw.Simulate.Ac.z
+      in
+      let e1 =
+        Simulate.Ac.max_rel_error sw
+          (Simulate.Ac.model_sweep (Sympvl.Model.eval sympvl) freqs)
+      in
+      let e2 =
+        Simulate.Ac.max_rel_error sw
+          (Simulate.Ac.model_sweep (Sympvl.Btruncation.eval bt) freqs)
+      in
+      Printf.printf "%6d %16.3e %16.3e %14.3e %12.2f %12.2f\n" order e1 e2
+        (bt.Sympvl.Btruncation.error_bound /. abs_scale)
+        ((t1 -. t0) *. 1e3)
+        ((t2 -. t1) *. 1e3))
+    [ 4; 8; 12; 16; 20 ];
+  (* multipoint ablation: one deep expansion vs two shallower points at
+     the same total order *)
+  section "Tab. H2: single-point vs multipoint (rational Krylov) at equal order";
+  let s_lo = Sympvl.Arnoldi.shift_of_hz mna 1e7 in
+  let s_hi = Sympvl.Arnoldi.shift_of_hz mna 3e9 in
+  Printf.printf "%26s %10s %16s\n" "basis" "order" "max rel err";
+  let report name t =
+    Printf.printf "%26s %10d %16.3e\n" name t.Sympvl.Arnoldi.order
+      (Simulate.Ac.max_rel_error sw
+         (Simulate.Ac.model_sweep (Sympvl.Arnoldi.eval t) freqs))
+  in
+  let multi = Sympvl.Arnoldi.reduce_multipoint ~points:[ (s_lo, 3); (s_hi, 3) ] mna in
+  report "two points x 3 blocks" multi;
+  report "one point (s=0), same n" (Sympvl.Arnoldi.reduce ~shift:0.0 ~order:multi.Sympvl.Arnoldi.order mna);
+  report "one point (mid), same n"
+    (Sympvl.Arnoldi.reduce ~shift:(Sympvl.Arnoldi.shift_of_hz mna 3e8)
+       ~order:multi.Sympvl.Arnoldi.order mna)
+
+(* ------------------------------------------------------------------ *)
+(* kernel microbenchmarks (bechamel)                                   *)
+
+let kernels () =
+  section "Kernel timings (bechamel OLS estimates)";
+  let _, pkg = package_mna () in
+  let band = (1e8, 1e10) in
+  let ws_point = Linalg.Cx.im (2.0 *. Float.pi *. 1e9) in
+  let tests =
+    [
+      ( "package: SyMPVL order 48",
+        fun () -> ignore (reduce_banded pkg ~order:48 ~band) );
+      ("package: exact AC point", fun () -> ignore (Simulate.Ac.z_at pkg ws_point));
+      ( "package: factor G+s0C (skyline+RCM)",
+        fun () ->
+          ignore
+            (Sympvl.Factor.with_shift pkg.Circuit.Mna.g pkg.Circuit.Mna.c 1e9) );
+    ]
+  in
+  List.iter
+    (fun (name, fn) ->
+      let ns = measure_ns name fn in
+      Printf.printf "%-40s %12.3f ms/run\n" name (ns /. 1e6))
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("tabB", tab_b);
+    ("tabC", tab_c);
+    ("tabD", tab_d);
+    ("tabE", tab_e);
+    ("tabF", tab_f);
+    ("tabG", tab_g);
+    ("tabH", tab_h);
+    ("kernels", kernels);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else if a = "--csv" then begin
+          csv_dir := Some "bench/out";
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> all_experiments
+    | names ->
+      List.filter_map
+        (fun n ->
+          match List.assoc_opt n all_experiments with
+          | Some fn -> Some (n, fn)
+          | None ->
+            Printf.eprintf "unknown experiment %s (have: %s)\n" n
+              (String.concat ", " (List.map fst all_experiments));
+            None)
+        names
+  in
+  let t0 = Sys.time () in
+  List.iter (fun (_, fn) -> fn ()) selected;
+  Printf.printf "\ntotal bench CPU time: %.1fs\n" (Sys.time () -. t0)

@@ -1,0 +1,277 @@
+(* symor — SyMPVL model-order-reduction command line.
+
+   Subcommands:
+     info    print netlist statistics and topology class
+     reduce  run SyMPVL, report accuracy/stability, optionally
+             synthesize an equivalent reduced netlist
+     ac      exact AC sweep as CSV
+     tran    transient simulation as CSV *)
+
+open Cmdliner
+
+let verbose_arg =
+  let doc = "Report the internal pipeline steps (factorisation fallbacks, shifts)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let netlist_arg =
+  let doc = "SPICE-like netlist file (see Circuit.Parser for the grammar)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc)
+
+let band_arg =
+  let doc = "Target band LO,HI in Hz (guides the expansion shift)." in
+  Arg.(value & opt (some (pair ~sep:',' float float)) None & info [ "band" ] ~doc)
+
+let order_arg =
+  let doc = "Reduced order n." in
+  Arg.(value & opt int 20 & info [ "n"; "order" ] ~doc)
+
+let load path = Circuit.Parser.parse_file path
+
+(* uniform CLI error reporting: user-level problems (bad netlists,
+   unsupported element classes, singular matrices) print one line and
+   exit nonzero instead of dumping a backtrace *)
+let safely f =
+  try f () with
+  | Circuit.Parser.Parse_error (line, msg) ->
+    Printf.eprintf "symor: parse error at line %d: %s\n" line msg;
+    exit 1
+  | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "symor: %s\n" msg;
+    exit 1
+  | Sympvl.Factor.Singular i ->
+    Printf.eprintf
+      "symor: the (shifted) G matrix is singular (pivot %d) — pass --band to pick a \
+       usable expansion shift\n"
+      i;
+    exit 1
+
+let class_name nl =
+  match Circuit.Netlist.classify nl with
+  | `Rc -> "RC"
+  | `Rl -> "RL"
+  | `Lc -> "LC"
+  | `Rlc -> "RLC"
+  | `General -> "general (nonlinear/controlled)"
+
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run path =
+   safely @@ fun () ->
+    let nl = load path in
+    Format.printf "%a@." Circuit.Netlist.pp_stats (Circuit.Netlist.stats nl);
+    Format.printf "class: %s@." (class_name nl);
+    Format.printf "ports: %s@."
+      (String.concat ", "
+         (List.map (fun p -> p.Circuit.Netlist.port_name) (Circuit.Netlist.ports nl)));
+    if Circuit.Netlist.is_linear_rlc nl && Circuit.Netlist.port_count nl > 0 then begin
+      let mna = Circuit.Mna.auto nl in
+      Format.printf "MNA: %d unknowns (%d nodes), nnz(G) = %d, nnz(C) = %d@."
+        mna.Circuit.Mna.n mna.Circuit.Mna.n_nodes
+        (Sparse.Csr.nnz mna.Circuit.Mna.g)
+        (Sparse.Csr.nnz mna.Circuit.Mna.c)
+    end
+  in
+  let doc = "Print netlist statistics." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ netlist_arg)
+
+let reduce_cmd =
+  let synth_arg =
+    let doc = "Write a synthesized reduced netlist to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "synth" ] ~docv:"OUT" ~doc)
+  in
+  let poles_arg =
+    let doc = "Print the reduced-model poles." in
+    Arg.(value & flag & info [ "poles" ] ~doc)
+  in
+  let check_arg =
+    let doc = "Check accuracy against exact AC analysis on the band." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run verbose path order band synth_out poles check adaptive =
+   safely @@ fun () ->
+    setup_logs verbose;
+    let nl = load path in
+    let mna = Circuit.Mna.auto nl in
+    let opts = { (Sympvl.Reduce.default ~order) with Sympvl.Reduce.band } in
+    let model =
+      match adaptive with
+      | None -> Sympvl.Reduce.mna ~opts ~order mna
+      | Some tol ->
+        let band = match band with Some b -> b | None -> (1e6, 1e10) in
+        let model, dev = Sympvl.Reduce.to_accuracy ~opts ~max_order:order ~tol ~band mna in
+        Format.printf "adaptive: converged at order %d (estimate %.2e)@."
+          model.Sympvl.Model.order dev;
+        model
+    in
+    Format.printf "SyMPVL: N = %d -> n = %d (p = %d)@." mna.Circuit.Mna.n
+      model.Sympvl.Model.order model.Sympvl.Model.p;
+    Format.printf "definite (J = I): %b; shift s0 = %g; deflations = %d@."
+      model.Sympvl.Model.definite model.Sympvl.Model.shift
+      model.Sympvl.Model.deflations;
+    Format.printf "stable: %b@." (Sympvl.Stability.is_stable model);
+    (match Sympvl.Stability.passivity_certificate model with
+    | Sympvl.Stability.Certified -> Format.printf "passivity: certified@."
+    | Sympvl.Stability.Indefinite_t x -> Format.printf "passivity: T indefinite (%g)@." x
+    | Sympvl.Stability.Not_applicable ->
+      Format.printf "passivity: no structural certificate@.");
+    if poles then begin
+      Format.printf "poles:@.";
+      Array.iter
+        (fun p -> Format.printf "  %+.6e %+.6ei@." p.Complex.re p.Complex.im)
+        (Sympvl.Model.poles model)
+    end;
+    (if check then
+       let f_lo, f_hi = match band with Some b -> b | None -> (1e6, 1e10) in
+       let freqs = Simulate.Ac.log_freqs ~points:40 f_lo f_hi in
+       let sw = Simulate.Ac.sweep mna freqs in
+       let zm = Simulate.Ac.model_sweep (Sympvl.Model.eval model) freqs in
+       Format.printf "max relative error on [%g, %g] Hz: %.3e@." f_lo f_hi
+         (Simulate.Ac.max_rel_error sw zm));
+    match synth_out with
+    | None -> ()
+    | Some out ->
+      let port_names = mna.Circuit.Mna.port_names in
+      let syn, st =
+        if model.Sympvl.Model.p = 1 then begin
+          let n, s = Synth.Foster.synthesize model in
+          ( n,
+            Printf.sprintf "%d R, %d C (%d negative)" s.Synth.Foster.resistors
+              s.Synth.Foster.capacitors s.Synth.Foster.negative_elements )
+        end
+        else begin
+          let n, s = Synth.Multiport.synthesize ~port_names model in
+          ( n,
+            Printf.sprintf "%d nodes, %d R, %d C (%d negative)" s.Synth.Multiport.nodes
+              s.Synth.Multiport.resistors s.Synth.Multiport.capacitors
+              s.Synth.Multiport.negative_elements )
+        end
+      in
+      let oc = open_out out in
+      output_string oc (Circuit.Parser.to_string syn);
+      close_out oc;
+      Format.printf "synthesized: %s -> %s@." st out
+  in
+  let adaptive_arg =
+    let doc =
+      "Pick the order adaptively: grow until successive models agree to this \
+       relative tolerance on the band ($(b,--order) becomes the cap)."
+    in
+    Arg.(value & opt (some float) None & info [ "adaptive" ] ~docv:"TOL" ~doc)
+  in
+  let doc = "Reduce a netlist with SyMPVL." in
+  Cmd.v (Cmd.info "reduce" ~doc)
+    Term.(
+      const run $ verbose_arg $ netlist_arg $ order_arg $ band_arg $ synth_arg $ poles_arg
+      $ check_arg $ adaptive_arg)
+
+let ac_cmd =
+  let points_arg =
+    Arg.(value & opt int 100 & info [ "points" ] ~doc:"Number of frequency points.")
+  in
+  let flo_arg = Arg.(value & opt float 1e6 & info [ "flo" ] ~doc:"Start frequency, Hz.") in
+  let fhi_arg = Arg.(value & opt float 1e10 & info [ "fhi" ] ~doc:"Stop frequency, Hz.") in
+  let run path flo fhi points =
+   safely @@ fun () ->
+    let nl = load path in
+    let mna = Circuit.Mna.auto nl in
+    let freqs = Simulate.Ac.log_freqs ~points flo fhi in
+    let sw = Simulate.Ac.sweep mna freqs in
+    let p = Array.length sw.Simulate.Ac.port_names in
+    print_string "freq";
+    for i = 0 to p - 1 do
+      for j = 0 to p - 1 do
+        Printf.printf ",|Z_%s_%s|" sw.Simulate.Ac.port_names.(i)
+          sw.Simulate.Ac.port_names.(j)
+      done
+    done;
+    print_newline ();
+    Array.iteri
+      (fun k f ->
+        Printf.printf "%.6e" f;
+        for i = 0 to p - 1 do
+          for j = 0 to p - 1 do
+            Printf.printf ",%.6e" (Linalg.Cx.abs (Linalg.Cmat.get sw.Simulate.Ac.z.(k) i j))
+          done
+        done;
+        print_newline ())
+      freqs
+  in
+  let doc = "Exact AC sweep (CSV on stdout)." in
+  Cmd.v (Cmd.info "ac" ~doc) Term.(const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg)
+
+let sparams_cmd =
+  let points_arg =
+    Arg.(value & opt int 100 & info [ "points" ] ~doc:"Number of frequency points.")
+  in
+  let flo_arg = Arg.(value & opt float 1e6 & info [ "flo" ] ~doc:"Start frequency, Hz.") in
+  let fhi_arg = Arg.(value & opt float 1e10 & info [ "fhi" ] ~doc:"Stop frequency, Hz.") in
+  let z0_arg = Arg.(value & opt float 50.0 & info [ "z0" ] ~doc:"Reference impedance, ohms.") in
+  let run path flo fhi points z0 =
+   safely @@ fun () ->
+    let nl = load path in
+    let mna = Circuit.Mna.auto nl in
+    let freqs = Simulate.Ac.log_freqs ~points flo fhi in
+    let sw = Simulate.Ac.sweep mna freqs in
+    let p = Array.length sw.Simulate.Ac.port_names in
+    print_string "freq";
+    for i = 0 to p - 1 do
+      for j = 0 to p - 1 do
+        Printf.printf ",|S%d%d|,arg(S%d%d)" (i + 1) (j + 1) (i + 1) (j + 1)
+      done
+    done;
+    print_newline ();
+    Array.iteri
+      (fun k f ->
+        let s = Simulate.Netparams.z_to_s ~z0 sw.Simulate.Ac.z.(k) in
+        Printf.printf "%.6e" f;
+        for i = 0 to p - 1 do
+          for j = 0 to p - 1 do
+            let v = Linalg.Cmat.get s i j in
+            Printf.printf ",%.6e,%.6e" (Linalg.Cx.abs v) (Complex.arg v)
+          done
+        done;
+        print_newline ())
+      freqs
+  in
+  let doc = "Exact S-parameter sweep (CSV on stdout)." in
+  Cmd.v (Cmd.info "sparams" ~doc)
+    Term.(const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg $ z0_arg)
+
+let tran_cmd =
+  let dt_arg = Arg.(value & opt float 1e-11 & info [ "dt" ] ~doc:"Time step, s.") in
+  let tstop_arg = Arg.(value & opt float 1e-8 & info [ "tstop" ] ~doc:"Stop time, s.") in
+  let observe_arg =
+    let doc = "Comma-separated node names to record." in
+    Arg.(required & opt (some (list string)) None & info [ "observe" ] ~doc)
+  in
+  let run path dt tstop observe =
+   safely @@ fun () ->
+    let nl = load path in
+    let nodes = List.map (Circuit.Netlist.node nl) observe in
+    let opts = Simulate.Transient.default ~dt ~t_stop:tstop in
+    let res = Simulate.Transient.run ~opts ~observe:nodes nl in
+    Printf.printf "time,%s\n" (String.concat "," observe);
+    Array.iteri
+      (fun k t ->
+        Printf.printf "%.6e" t;
+        List.iter
+          (fun (_, wave) -> Printf.printf ",%.6e" wave.(k))
+          res.Simulate.Transient.voltages;
+        print_newline ())
+      res.Simulate.Transient.times
+  in
+  let doc = "Transient simulation (CSV on stdout)." in
+  Cmd.v (Cmd.info "tran" ~doc)
+    Term.(const run $ netlist_arg $ dt_arg $ tstop_arg $ observe_arg)
+
+let () =
+  let doc = "SyMPVL reduced-order modeling of linear passive multi-ports" in
+  let main = Cmd.group (Cmd.info "symor" ~version:"1.0.0" ~doc)
+      [ info_cmd; reduce_cmd; ac_cmd; sparams_cmd; tran_cmd ]
+  in
+  exit (Cmd.eval main)

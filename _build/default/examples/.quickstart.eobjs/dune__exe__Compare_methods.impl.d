@@ -1,0 +1,1 @@
+examples/compare_methods.ml: Array Circuit Float Format Linalg List Printf Simulate Sympvl

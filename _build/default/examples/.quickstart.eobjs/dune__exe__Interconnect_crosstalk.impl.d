@@ -1,0 +1,1 @@
+examples/interconnect_crosstalk.ml: Array Circuit Float Format List Printf Simulate Sympvl Synth Sys

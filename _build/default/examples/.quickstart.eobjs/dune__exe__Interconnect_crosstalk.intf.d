@@ -1,0 +1,1 @@
+examples/interconnect_crosstalk.mli:

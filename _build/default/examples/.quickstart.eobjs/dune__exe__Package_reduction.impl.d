@@ -1,0 +1,1 @@
+examples/package_reduction.ml: Array Circuit Float Format Linalg List Printf Simulate String Sympvl Sys

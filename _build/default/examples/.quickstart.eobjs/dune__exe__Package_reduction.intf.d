@@ -1,0 +1,1 @@
+examples/package_reduction.mli:

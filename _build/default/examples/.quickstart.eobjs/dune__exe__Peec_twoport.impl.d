@@ -1,0 +1,1 @@
+examples/peec_twoport.ml: Array Circuit Complex Float Format Linalg Printf Simulate Sympvl

@@ -1,0 +1,1 @@
+examples/peec_twoport.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Complex Float Format Linalg Printf Simulate Sympvl

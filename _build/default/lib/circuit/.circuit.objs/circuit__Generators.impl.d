@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Linalg List Netlist Printf String

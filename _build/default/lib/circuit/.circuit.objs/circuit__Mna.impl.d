@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Linalg List Netlist Sparse

@@ -1,0 +1,1 @@
+lib/circuit/mna.mli: Linalg Netlist Sparse

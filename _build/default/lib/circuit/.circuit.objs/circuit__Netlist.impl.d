@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Float Format Hashtbl List Printf String Waveform

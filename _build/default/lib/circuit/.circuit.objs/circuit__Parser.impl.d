@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Buffer Char Format Hashtbl List Netlist Printf String Waveform

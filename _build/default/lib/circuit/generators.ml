@@ -1,0 +1,257 @@
+let rc_line ?(r_per_section = 1.0) ?(c_per_section = 1e-12) ?(output_port = true)
+    ~sections () =
+  assert (sections >= 1);
+  let nl = Netlist.create () in
+  let node_at i = Netlist.node nl (Printf.sprintf "n%d" i) in
+  let input = node_at 0 in
+  for i = 0 to sections - 1 do
+    let a = node_at i and b = node_at (i + 1) in
+    Netlist.add_resistor nl a b r_per_section;
+    Netlist.add_capacitor nl b 0 c_per_section
+  done;
+  Netlist.add_port nl "in" input;
+  if output_port then Netlist.add_port nl "out" (node_at sections);
+  nl
+
+let rc_tree ?(r_per_segment = 1.0) ?(c_per_segment = 0.5e-12) ~depth () =
+  assert (depth >= 1);
+  let nl = Netlist.create () in
+  let root = Netlist.node nl "root" in
+  (* nodes labelled by their path from the root; heap-style indices *)
+  let rec build parent level path =
+    if level < depth then begin
+      List.iter
+        (fun dir ->
+          let child = Netlist.node nl (Printf.sprintf "t%s%s" path dir) in
+          Netlist.add_resistor nl parent child r_per_segment;
+          Netlist.add_capacitor nl child 0 c_per_segment;
+          build child (level + 1) (path ^ dir))
+        [ "0"; "1" ]
+    end
+  in
+  Netlist.add_capacitor nl root 0 c_per_segment;
+  build root 0 "";
+  Netlist.add_port nl "root" root;
+  let leftmost = Netlist.node nl ("t" ^ String.concat "" (List.init depth (fun _ -> "0"))) in
+  Netlist.add_port nl "leaf" leftmost;
+  nl
+
+let coupled_rc_bus ?(r_per_section = 10.0) ?(c_ground = 5e-15) ?(c_coupling = 25e-15)
+    ?(coupling_span = 1) ?terminate ~wires ~sections () =
+  assert (wires >= 1 && sections >= 1);
+  let nl = Netlist.create () in
+  let node_at w s = Netlist.node nl (Printf.sprintf "w%ds%d" w s) in
+  for w = 0 to wires - 1 do
+    for s = 0 to sections - 1 do
+      let b = node_at w (s + 1) in
+      Netlist.add_resistor nl (node_at w s) b r_per_section;
+      Netlist.add_capacitor nl b 0 c_ground
+    done;
+    Netlist.add_capacitor nl (node_at w 0) 0 c_ground
+  done;
+  (* dense inter-wire coupling: every wire pair, every section, offsets
+     0..coupling_span *)
+  for w1 = 0 to wires - 1 do
+    for w2 = w1 + 1 to wires - 1 do
+      for s = 0 to sections do
+        for off = 0 to coupling_span do
+          if s + off <= sections then begin
+            let scale = 1.0 /. float_of_int (1 + off) in
+            Netlist.add_capacitor nl (node_at w1 s) (node_at w2 (s + off))
+              (c_coupling *. scale);
+            if off > 0 then
+              Netlist.add_capacitor nl (node_at w1 (s + off)) (node_at w2 s)
+                (c_coupling *. scale)
+          end
+        done
+      done
+    done
+  done;
+  (match terminate with
+  | Some r_load ->
+    for w = 0 to wires - 1 do
+      Netlist.add_resistor nl (node_at w sections) 0 r_load
+    done
+  | None -> ());
+  for w = 0 to wires - 1 do
+    Netlist.add_port nl (Printf.sprintf "port%d" w) (node_at w 0)
+  done;
+  nl
+
+let package_model ?(sections = 10) ?(l_section = 1e-9) ?(c_section = 0.2e-12)
+    ?(r_section = 0.05) ?(k_neighbour = 0.35) ?(c_coupling = 0.1e-12) ?(pins = 64)
+    ?(signal_pins = 8) () =
+  assert (pins >= 1 && signal_pins <= pins && sections >= 1);
+  let nl = Netlist.create () in
+  let node_at p s = Netlist.node nl (Printf.sprintf "p%dn%d" p s) in
+  let l_name p s = Printf.sprintf "Lp%ds%d" p s in
+  for p = 0 to pins - 1 do
+    for s = 0 to sections - 1 do
+      (* series R then L per section *)
+      let a = node_at p (2 * s) in
+      let mid = node_at p ((2 * s) + 1) in
+      let b = node_at p ((2 * s) + 2) in
+      Netlist.add_resistor nl a mid r_section;
+      Netlist.add_inductor nl ~name:(l_name p s) mid b l_section;
+      Netlist.add_capacitor nl b 0 c_section
+    done;
+    Netlist.add_capacitor nl (node_at p 0) 0 c_section
+  done;
+  (* neighbour-pin coupling: mutual inductance between matching
+     sections, coupling capacitance between matching nodes *)
+  for p = 0 to pins - 2 do
+    for s = 0 to sections - 1 do
+      Netlist.add_mutual nl (l_name p s) (l_name (p + 1) s) k_neighbour;
+      Netlist.add_capacitor nl (node_at p ((2 * s) + 2)) (node_at (p + 1) ((2 * s) + 2))
+        c_coupling
+    done
+  done;
+  for p = 0 to signal_pins - 1 do
+    Netlist.add_port nl (Printf.sprintf "P%dext" (p + 1)) (node_at p 0);
+    Netlist.add_port nl (Printf.sprintf "P%dint" (p + 1)) (node_at p (2 * sections))
+  done;
+  nl
+
+let peec_mesh ?(l_segment = 1e-9) ?(c_node = 1e-12) ?(k0 = 0.12) ?(chord_every = 7)
+    ~segments () =
+  assert (segments >= 3);
+  let nl = Netlist.create () in
+  let node_at i = Netlist.node nl (Printf.sprintf "m%d" (i mod segments)) in
+  let seg_name i = Printf.sprintf "Ls%d" i in
+  for i = 0 to segments - 1 do
+    Netlist.add_inductor nl ~name:(seg_name i) (node_at i) (node_at (i + 1)) l_segment;
+    Netlist.add_capacitor nl (node_at i) 0 c_node
+  done;
+  (* stiffening chords make the spectrum less regular (more PEEC-like) *)
+  let n_chords = ref 0 in
+  if chord_every > 0 then begin
+    let i = ref 0 in
+    while !i + (segments / 3) < segments do
+      Netlist.add_inductor nl
+        ~name:(Printf.sprintf "Lc%d" !n_chords)
+        (node_at !i)
+        (node_at (!i + (segments / 3)))
+        (1.7 *. l_segment);
+      incr n_chords;
+      i := !i + chord_every
+    done
+  end;
+  (* distance-decaying mutual coupling between ring segments *)
+  for i = 0 to segments - 1 do
+    for j = i + 1 to segments - 1 do
+      let d = min (j - i) (segments - (j - i)) in
+      if d >= 1 then begin
+        let k = k0 /. (float_of_int d ** 1.5) in
+        if k > 1e-4 then Netlist.add_mutual nl (seg_name i) (seg_name j) k
+      end
+    done
+  done;
+  Netlist.add_port nl "drive" (node_at 1);
+  (* output: the current of the segment diametrically opposite the
+     drive, as in the paper's "current through one of the inductors" *)
+  (nl, seg_name (segments / 2))
+
+let rlc_line ?(r_per_section = 0.1) ?(l_per_section = 1e-9) ?(c_per_section = 1e-12)
+    ?r_load ~sections () =
+  assert (sections >= 1);
+  let nl = Netlist.create () in
+  let node_at i = Netlist.node nl (Printf.sprintf "n%d" i) in
+  for i = 0 to sections - 1 do
+    let a = node_at (2 * i) in
+    let mid = node_at ((2 * i) + 1) in
+    let b = node_at ((2 * i) + 2) in
+    Netlist.add_resistor nl a mid r_per_section;
+    Netlist.add_inductor nl mid b l_per_section;
+    Netlist.add_capacitor nl b 0 c_per_section
+  done;
+  (match r_load with
+  | Some r -> Netlist.add_resistor nl (node_at (2 * sections)) 0 r
+  | None -> ());
+  Netlist.add_port nl "in" (node_at 0);
+  Netlist.add_port nl "out" (node_at (2 * sections));
+  nl
+
+let rl_ladder ?(r_per_section = 1.0) ?(l_per_section = 1e-9) ?(shorted_end = false)
+    ~sections () =
+  assert (sections >= 1);
+  let nl = Netlist.create () in
+  let node_at i = Netlist.node nl (Printf.sprintf "n%d" i) in
+  for i = 0 to sections - 1 do
+    let a = node_at i and b = node_at (i + 1) in
+    Netlist.add_inductor nl a b l_per_section;
+    Netlist.add_resistor nl b 0 r_per_section
+  done;
+  (* an inductive short at the far end gives every node an inductive
+     DC path to ground: the RL-form G = AˡᵀL⁻¹Aˡ becomes nonsingular
+     and the unshifted (certified) expansion applies *)
+  if shorted_end then Netlist.add_inductor nl (node_at sections) 0 l_per_section;
+  Netlist.add_port nl "in" (node_at 0);
+  nl
+
+let rc_grid ?(r_per_edge = 2.0) ?(c_per_node = 10e-15) ?(pitch_pads = 4) ~rows ~cols () =
+  assert (rows >= 2 && cols >= 2 && pitch_pads >= 1);
+  let nl = Netlist.create () in
+  let node_at r c = Netlist.node nl (Printf.sprintf "g%d_%d" r c) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let u = node_at r c in
+      Netlist.add_capacitor nl u 0 c_per_node;
+      if r + 1 < rows then Netlist.add_resistor nl u (node_at (r + 1) c) r_per_edge;
+      if c + 1 < cols then Netlist.add_resistor nl u (node_at r (c + 1)) r_per_edge
+    done
+  done;
+  Netlist.add_resistor nl (node_at 0 0) 0 r_per_edge;
+  (* pads along the top and bottom boundary rows *)
+  let pad = ref 0 in
+  let c = ref 0 in
+  while !c < cols do
+    Netlist.add_port nl (Printf.sprintf "padT%d" !pad) (node_at 0 !c);
+    Netlist.add_port nl (Printf.sprintf "padB%d" !pad) (node_at (rows - 1) !c);
+    incr pad;
+    c := !c + pitch_pads
+  done;
+  nl
+
+let random_rc ?(ports = 2) ~nodes ~extra_edges ~seed () =
+  assert (nodes >= 1 && ports >= 1 && ports <= nodes);
+  let rng = Linalg.Rng.create seed in
+  let nl = Netlist.create () in
+  let node_at i = Netlist.node nl (Printf.sprintf "n%d" i) in
+  (* ensure every node is interned in order *)
+  for i = 0 to nodes - 1 do
+    ignore (node_at i)
+  done;
+  (* random spanning tree: connect node i to a random earlier node
+     (or ground for node 0) *)
+  Netlist.add_resistor nl (node_at 0) 0 (Linalg.Rng.log_uniform rng 1.0 100.0);
+  for i = 1 to nodes - 1 do
+    let j = Linalg.Rng.int rng i in
+    Netlist.add_resistor nl (node_at i) (node_at j) (Linalg.Rng.log_uniform rng 1.0 100.0)
+  done;
+  for _ = 1 to extra_edges do
+    let i = Linalg.Rng.int rng nodes and j = Linalg.Rng.int rng nodes in
+    if i <> j then begin
+      if Linalg.Rng.float rng < 0.5 then
+        Netlist.add_resistor nl (node_at i) (node_at j)
+          (Linalg.Rng.log_uniform rng 1.0 100.0)
+      else
+        Netlist.add_capacitor nl (node_at i) (node_at j)
+          (Linalg.Rng.log_uniform rng 1e-14 1e-12)
+    end
+  done;
+  for i = 0 to nodes - 1 do
+    ignore i;
+    Netlist.add_capacitor nl (node_at i) 0 (Linalg.Rng.log_uniform rng 1e-13 1e-12)
+  done;
+  (* distinct random port nodes *)
+  let chosen = Array.make nodes false in
+  let placed = ref 0 in
+  while !placed < ports do
+    let i = Linalg.Rng.int rng nodes in
+    if not chosen.(i) then begin
+      chosen.(i) <- true;
+      Netlist.add_port nl (Printf.sprintf "port%d" !placed) (node_at i);
+      incr placed
+    end
+  done;
+  nl

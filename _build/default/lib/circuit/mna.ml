@@ -1,0 +1,280 @@
+type gain = Unit | Times_s
+
+type variable = S | S_squared
+
+type t = {
+  n : int;
+  n_nodes : int;
+  g : Sparse.Csr.t;
+  c : Sparse.Csr.t;
+  b : Linalg.Mat.t;
+  port_names : string array;
+  gain : gain;
+  variable : variable;
+  spd : bool;
+}
+
+(* stamp a two-terminal admittance-like value into a nodal matrix;
+   MNA index of node n is n - 1, ground (0) is dropped *)
+let stamp_pair tr n1 n2 v =
+  let i = n1 - 1 and j = n2 - 1 in
+  if i >= 0 then Sparse.Triplet.add tr i i v;
+  if j >= 0 then Sparse.Triplet.add tr j j v;
+  if i >= 0 && j >= 0 then begin
+    Sparse.Triplet.add tr i j (-.v);
+    Sparse.Triplet.add tr j i (-.v)
+  end
+
+let require_ports nl =
+  if Netlist.port_count nl = 0 then
+    invalid_arg "Mna: netlist has no ports — declare at least one with add_port"
+
+let require_linear nl =
+  if not (Netlist.is_linear_rlc nl) then
+    invalid_arg "Mna: controlled/nonlinear elements are not allowed in the MOR path"
+
+let port_matrix nl n =
+  let ports = Netlist.ports nl in
+  let p = List.length ports in
+  let b = Linalg.Mat.create n p in
+  List.iteri
+    (fun j { Netlist.plus; minus; _ } ->
+      if plus > 0 then Linalg.Mat.add_to b (plus - 1) j 1.0;
+      if minus > 0 then Linalg.Mat.add_to b (minus - 1) j (-1.0))
+    ports;
+  b
+
+let port_names nl =
+  Array.of_list (List.map (fun pt -> pt.Netlist.port_name) (Netlist.ports nl))
+
+let inductance_matrix nl =
+  let inds = Netlist.inductors nl in
+  let nl_count = List.length inds in
+  let values = Array.of_list (List.map (fun (_, _, _, h) -> h) inds) in
+  let m = Linalg.Mat.create nl_count nl_count in
+  for i = 0 to nl_count - 1 do
+    Linalg.Mat.set m i i values.(i)
+  done;
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Mutual { l1; l2; k; _ } ->
+        let i = Netlist.find_inductor nl l1 and j = Netlist.find_inductor nl l2 in
+        let mij = k *. sqrt (values.(i) *. values.(j)) in
+        Linalg.Mat.add_to m i j mij;
+        Linalg.Mat.add_to m j i mij
+      | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Inductor _
+      | Netlist.Current_source _ | Netlist.Voltage_source _ | Netlist.Vccs _
+      | Netlist.Nonlinear_conductance _ ->
+        ())
+    (Netlist.elements nl);
+  m
+
+(* Aˡ incidence matrix of inductor branches over non-ground nodes *)
+let inductor_incidence nl =
+  let inds = Netlist.inductors nl in
+  let nn = Netlist.num_nodes nl in
+  let al = Linalg.Mat.create (List.length inds) nn in
+  List.iteri
+    (fun k (_, n1, n2, _) ->
+      if n1 > 0 then Linalg.Mat.add_to al k (n1 - 1) 1.0;
+      if n2 > 0 then Linalg.Mat.add_to al k (n2 - 1) (-1.0))
+    inds;
+  al
+
+(* Aˡᵀ ℒ⁻¹ Aˡ as a CSR matrix (dense intermediate; the inductor count
+   is moderate even in the PEEC workloads) *)
+let inductive_nodal_g nl =
+  let lmat = inductance_matrix nl in
+  let al = inductor_incidence nl in
+  let chol = Linalg.Chol.factor lmat in
+  let linv_al = Linalg.Chol.solve_mat chol al in
+  let g = Linalg.Mat.mul (Linalg.Mat.transpose al) linv_al in
+  Sparse.Csr.of_dense g
+
+let conductance_nodal nl nn =
+  let tr = Sparse.Triplet.create nn nn in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Resistor { n1; n2; ohms; _ } -> stamp_pair tr n1 n2 (1.0 /. ohms)
+      | Netlist.Capacitor _ | Netlist.Inductor _ | Netlist.Mutual _
+      | Netlist.Current_source _ | Netlist.Voltage_source _ | Netlist.Vccs _
+      | Netlist.Nonlinear_conductance _ ->
+        ())
+    (Netlist.elements nl);
+  Sparse.Csr.of_triplet tr
+
+let capacitance_nodal nl nn =
+  let tr = Sparse.Triplet.create nn nn in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Capacitor { n1; n2; farads; _ } -> stamp_pair tr n1 n2 farads
+      | Netlist.Resistor _ | Netlist.Inductor _ | Netlist.Mutual _
+      | Netlist.Current_source _ | Netlist.Voltage_source _ | Netlist.Vccs _
+      | Netlist.Nonlinear_conductance _ ->
+        ())
+    (Netlist.elements nl);
+  Sparse.Csr.of_triplet tr
+
+let assemble nl =
+  require_linear nl;
+  require_ports nl;
+  let nn = Netlist.num_nodes nl in
+  let inds = Netlist.inductors nl in
+  let ni = List.length inds in
+  let n = nn + ni in
+  (* G = [[AᵍᵀGAᵍ, Aˡᵀ]; [Aˡ, 0]] *)
+  let gtr = Sparse.Triplet.create n n in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Resistor { n1; n2; ohms; _ } -> stamp_pair gtr n1 n2 (1.0 /. ohms)
+      | Netlist.Capacitor _ | Netlist.Inductor _ | Netlist.Mutual _
+      | Netlist.Current_source _ | Netlist.Voltage_source _ | Netlist.Vccs _
+      | Netlist.Nonlinear_conductance _ ->
+        ())
+    (Netlist.elements nl);
+  List.iteri
+    (fun k (_, n1, n2, _) ->
+      let row = nn + k in
+      if n1 > 0 then Sparse.Triplet.add_sym gtr row (n1 - 1) 1.0;
+      if n2 > 0 then Sparse.Triplet.add_sym gtr row (n2 - 1) (-1.0))
+    inds;
+  let g = Sparse.Csr.of_triplet gtr in
+  (* C = [[AᶜᵀCAᶜ, 0]; [0, −ℒ]] *)
+  let ctr = Sparse.Triplet.create n n in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Capacitor { n1; n2; farads; _ } -> stamp_pair ctr n1 n2 farads
+      | Netlist.Resistor _ | Netlist.Inductor _ | Netlist.Mutual _
+      | Netlist.Current_source _ | Netlist.Voltage_source _ | Netlist.Vccs _
+      | Netlist.Nonlinear_conductance _ ->
+        ())
+    (Netlist.elements nl);
+  if ni > 0 then begin
+    let lmat = inductance_matrix nl in
+    for i = 0 to ni - 1 do
+      for j = 0 to ni - 1 do
+        let v = Linalg.Mat.get lmat i j in
+        if v <> 0.0 then Sparse.Triplet.add ctr (nn + i) (nn + j) (-.v)
+      done
+    done
+  end;
+  let c = Sparse.Csr.of_triplet ctr in
+  let b_nodal = port_matrix nl nn in
+  let b = Linalg.Mat.create n (Netlist.port_count nl) in
+  for i = 0 to nn - 1 do
+    for j = 0 to Netlist.port_count nl - 1 do
+      Linalg.Mat.set b i j (Linalg.Mat.get b_nodal i j)
+    done
+  done;
+  {
+    n;
+    n_nodes = nn;
+    g;
+    c;
+    b;
+    port_names = port_names nl;
+    gain = Unit;
+    variable = S;
+    spd = false;
+  }
+
+let assemble_rc nl =
+  require_linear nl;
+  require_ports nl;
+  let s = Netlist.stats nl in
+  if s.Netlist.inductors_ > 0 then
+    invalid_arg "Mna.assemble_rc: netlist contains inductors";
+  let nn = Netlist.num_nodes nl in
+  {
+    n = nn;
+    n_nodes = nn;
+    g = conductance_nodal nl nn;
+    c = capacitance_nodal nl nn;
+    b = port_matrix nl nn;
+    port_names = port_names nl;
+    gain = Unit;
+    variable = S;
+    spd = Netlist.all_values_positive nl;
+  }
+
+let assemble_rl nl =
+  require_linear nl;
+  require_ports nl;
+  let s = Netlist.stats nl in
+  if s.Netlist.capacitors > 0 then
+    invalid_arg "Mna.assemble_rl: netlist contains capacitors";
+  let nn = Netlist.num_nodes nl in
+  {
+    n = nn;
+    n_nodes = nn;
+    g = inductive_nodal_g nl;
+    c = conductance_nodal nl nn;
+    b = port_matrix nl nn;
+    port_names = port_names nl;
+    gain = Times_s;
+    variable = S;
+    spd = Netlist.all_values_positive nl;
+  }
+
+let assemble_lc nl =
+  require_linear nl;
+  require_ports nl;
+  let s = Netlist.stats nl in
+  if s.Netlist.resistors > 0 then
+    invalid_arg "Mna.assemble_lc: netlist contains resistors";
+  let nn = Netlist.num_nodes nl in
+  {
+    n = nn;
+    n_nodes = nn;
+    g = inductive_nodal_g nl;
+    c = capacitance_nodal nl nn;
+    b = port_matrix nl nn;
+    port_names = port_names nl;
+    gain = Times_s;
+    variable = S_squared;
+    spd = Netlist.all_values_positive nl;
+  }
+
+let auto nl =
+  match Netlist.classify nl with
+  | `Rc -> assemble_rc nl
+  | `Rl -> assemble_rl nl
+  | `Lc -> assemble_lc nl
+  | `Rlc -> assemble nl
+  | `General -> invalid_arg "Mna.auto: nonlinear/controlled elements present"
+
+let observe_inductor_current nl mna l_name =
+  let idx = Netlist.find_inductor nl l_name in
+  match (mna.variable, mna.gain) with
+  | S, Unit ->
+    (* general form: inductor currents are trailing unknowns *)
+    if mna.n = mna.n_nodes then
+      invalid_arg "Mna.observe_inductor_current: no inductor unknowns in this form";
+    Linalg.Vec.basis mna.n (mna.n_nodes + idx)
+  | S_squared, _ ->
+    (* LC form: w = Aˡᵀ ℒ⁻¹ b (paper Section 7.1) *)
+    let lmat = inductance_matrix nl in
+    let al = inductor_incidence nl in
+    let chol = Linalg.Chol.factor lmat in
+    let bsel = Linalg.Vec.basis (List.length (Netlist.inductors nl)) idx in
+    let linv_b = Linalg.Chol.solve chol bsel in
+    Linalg.Mat.mul_trans_vec al linv_b
+  | S, Times_s ->
+    invalid_arg "Mna.observe_inductor_current: not available for the RL form"
+
+let append_output_column mna w name =
+  assert (Linalg.Vec.dim w = mna.n);
+  let p = mna.b.Linalg.Mat.cols in
+  let b = Linalg.Mat.create mna.n (p + 1) in
+  for i = 0 to mna.n - 1 do
+    for j = 0 to p - 1 do
+      Linalg.Mat.set b i j (Linalg.Mat.get mna.b i j)
+    done;
+    Linalg.Mat.set b i p w.(i)
+  done;
+  { mna with b; port_names = Array.append mna.port_names [| name |] }

@@ -1,0 +1,348 @@
+exception Parse_error of int * string
+
+let suffixes =
+  [
+    ("meg", 1e6);
+    ("f", 1e-15);
+    ("p", 1e-12);
+    ("n", 1e-9);
+    ("u", 1e-6);
+    ("m", 1e-3);
+    ("k", 1e3);
+    ("g", 1e9);
+    ("t", 1e12);
+  ]
+
+let value s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let try_suffix (suf, mult) =
+    let ls = String.length s and lf = String.length suf in
+    if ls > lf && String.sub s (ls - lf) lf = suf then
+      match float_of_string_opt (String.sub s 0 (ls - lf)) with
+      | Some v -> Some (v *. mult)
+      | None -> None
+    else None
+  in
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> (
+    match List.find_map try_suffix suffixes with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Parser.value: cannot parse %S" s))
+
+(* split a card into tokens; parenthesised argument lists become one
+   token each, e.g. "PWL(0 0 1n 1)" *)
+let tokenize line =
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let depth = ref 0 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf ch
+      | ')' ->
+        decr depth;
+        Buffer.add_char buf ch
+      | ' ' | '\t' | ',' when !depth = 0 -> flush ()
+      | c -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !tokens
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_args_of tok =
+  (* "PWL(0 0 1n 2)" -> ("pwl", ["0";"0";"1n";"2"]) *)
+  match String.index_opt tok '(' with
+  | None -> (String.lowercase_ascii tok, [])
+  | Some i ->
+    let head = String.lowercase_ascii (String.sub tok 0 i) in
+    let inner = String.sub tok (i + 1) (String.length tok - i - 2) in
+    let args =
+      String.split_on_char ' ' (String.map (fun c -> if c = ',' then ' ' else c) inner)
+      |> List.filter (fun s -> s <> "")
+    in
+    (head, args)
+
+let parse_waveform lineno tokens =
+  let err msg = raise (Parse_error (lineno, msg)) in
+  match tokens with
+  | [] -> err "missing source value"
+  | [ v ] when fst (parse_args_of v) = "pwl" || fst (parse_args_of v) = "pulse"
+               || fst (parse_args_of v) = "sin" -> (
+    let head, args = parse_args_of v in
+    let vals = List.map value args in
+    match (head, vals) with
+    | "pwl", vs ->
+      let rec pair = function
+        | [] -> []
+        | t :: v :: rest -> (t, v) :: pair rest
+        | [ _ ] -> err "PWL needs an even number of values"
+      in
+      Waveform.Pwl (pair vs)
+    | "pulse", [ low; high; delay; rise; fall; width; period ] ->
+      Waveform.Pulse { low; high; delay; rise; fall; width; period }
+    | "pulse", _ -> err "PULSE needs 7 values"
+    | "sin", [ offset; amplitude; freq ] ->
+      Waveform.Sine { offset; amplitude; freq; delay = 0.0 }
+    | "sin", [ offset; amplitude; freq; delay ] ->
+      Waveform.Sine { offset; amplitude; freq; delay }
+    | "sin", _ -> err "SIN needs 3 or 4 values"
+    | _, _ -> err ("unknown source function " ^ head))
+  | [ "DC"; v ] | [ "dc"; v ] | [ v ] -> Waveform.Dc (value v)
+  | _ -> err "cannot parse source specification"
+
+(* subcircuit definitions: name -> (pins, body cards with line numbers) *)
+type subckt = { pins : string list; body : (int * string list) list }
+
+(* split raw lines into (subckt table, toplevel cards) *)
+let gather_subckts lines =
+  let defs = Hashtbl.create 4 in
+  let top = ref [] in
+  let current = ref None in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" && line.[0] <> '*' then begin
+        let toks = tokenize line in
+        match (toks, !current) with
+        | [], _ -> ()
+        | head :: rest, None when String.lowercase_ascii head = ".subckt" -> (
+          match rest with
+          | name :: pins when pins <> [] ->
+            current := Some (name, pins, ref [])
+          | _ -> raise (Parse_error (lineno, ".subckt needs: name pin [pin ...]")))
+        | head :: _, Some (name, pins, body) when String.lowercase_ascii head = ".ends" ->
+          Hashtbl.replace defs name { pins; body = List.rev !body };
+          current := None
+        | head :: _, Some (_, _, _) when String.lowercase_ascii head = ".subckt" ->
+          raise (Parse_error (lineno, "nested .subckt definitions are not allowed"))
+        | toks, Some (_, _, body) -> body := (lineno, toks) :: !body
+        | toks, None -> top := (lineno, toks) :: !top
+      end)
+    lines;
+  (match !current with
+  | Some (name, _, _) -> raise (Parse_error (0, ".subckt " ^ name ^ " missing .ends"))
+  | None -> ());
+  (defs, List.rev !top)
+
+(* expand subcircuit instantiations into flat cards, renaming local
+   nodes and element names with the instance prefix *)
+let rec expand_cards defs depth inst_path pin_map cards =
+  if depth > 20 then
+    raise (Parse_error (0, "subcircuit nesting deeper than 20 (recursive definition?)"));
+  let rename_node n =
+    let lower = String.lowercase_ascii n in
+    if lower = "0" || lower = "gnd" then n
+    else
+      match List.assoc_opt n pin_map with
+      | Some outer -> outer
+      | None -> if inst_path = "" then n else inst_path ^ "." ^ n
+  in
+  (* element names keep their leading type character and carry the
+     instance path as a suffix: R1 inside X2 becomes R1@X2 *)
+  let rename_name n = if inst_path = "" then n else n ^ "@" ^ inst_path in
+  List.concat_map
+    (fun (lineno, toks) ->
+      match toks with
+      | [] -> []
+      | head :: rest -> (
+        let lower = String.lowercase_ascii head in
+        if lower = ".end" then []
+        else if lower = ".port" then begin
+          if inst_path <> "" then
+            raise (Parse_error (lineno, ".port inside a subcircuit is not allowed"));
+          [ (lineno, toks) ]
+        end
+        else if String.length lower > 0 && lower.[0] = '.' then
+          raise (Parse_error (lineno, "unknown directive " ^ head))
+        else begin
+          match (Char.lowercase_ascii head.[0], rest) with
+          | 'x', args when List.length args >= 2 -> (
+            let rec split_last acc = function
+              | [ last ] -> (List.rev acc, last)
+              | a :: more -> split_last (a :: acc) more
+              | [] -> assert false
+            in
+            let outer_nodes, sub_name = split_last [] args in
+            match Hashtbl.find_opt defs sub_name with
+            | None ->
+              raise (Parse_error (lineno, "unknown subcircuit " ^ sub_name))
+            | Some def ->
+              if List.length def.pins <> List.length outer_nodes then
+                raise
+                  (Parse_error
+                     ( lineno,
+                       Printf.sprintf "%s expects %d pins, got %d" sub_name
+                         (List.length def.pins) (List.length outer_nodes) ));
+              let bound =
+                List.map2 (fun pin node -> (pin, rename_node node)) def.pins outer_nodes
+              in
+              let child_path =
+                if inst_path = "" then head else inst_path ^ "." ^ head
+              in
+              expand_cards defs (depth + 1) child_path bound def.body)
+          | ('r' | 'c' | 'l' | 'i' | 'v'), n1 :: n2 :: tail ->
+            [ (lineno, rename_name head :: rename_node n1 :: rename_node n2 :: tail) ]
+          | 'k', [ l1; l2; kv ] ->
+            [ (lineno, [ rename_name head; rename_name l1; rename_name l2; kv ]) ]
+          | 'g', [ a; b; c; d; gm ] ->
+            [
+              ( lineno,
+                [
+                  rename_name head;
+                  rename_node a;
+                  rename_node b;
+                  rename_node c;
+                  rename_node d;
+                  gm;
+                ] );
+            ]
+          | _, _ -> [ (lineno, toks) ]
+        end))
+    cards
+
+let parse_string text =
+  let nl = Netlist.create () in
+  let lines = String.split_on_char '\n' text in
+  let defs, top = gather_subckts lines in
+  let flat = expand_cards defs 0 "" [] top in
+  List.iter
+    (fun (lineno, toks) ->
+      begin
+        let err msg = raise (Parse_error (lineno, msg)) in
+        (* value-parse failures and netlist validation errors surface
+           as parse errors with the offending line number *)
+        try
+        match toks with
+        | [] -> ()
+        | head :: rest -> (
+          let lower = String.lowercase_ascii head in
+          if lower = ".end" then ()
+          else if lower = ".port" then begin
+            match rest with
+            | [ name; plus ] -> Netlist.add_port nl name (Netlist.node nl plus)
+            | [ name; plus; minus ] ->
+              Netlist.add_port nl name
+                ~minus:(Netlist.node nl minus)
+                (Netlist.node nl plus)
+            | _ -> err ".port needs: name node [node]"
+          end
+          else if String.length lower > 0 && lower.[0] = '.' then
+            err ("unknown directive " ^ head)
+          else begin
+            (* elements go through the raw constructor: netlists on
+               disk may carry negative-valued synthesized elements *)
+            match (Char.lowercase_ascii head.[0], rest) with
+            | 'r', [ n1; n2; v ] ->
+              Netlist.add nl
+                (Netlist.Resistor
+                   {
+                     name = head;
+                     n1 = Netlist.node nl n1;
+                     n2 = Netlist.node nl n2;
+                     ohms = value v;
+                   })
+            | 'c', [ n1; n2; v ] ->
+              Netlist.add nl
+                (Netlist.Capacitor
+                   {
+                     name = head;
+                     n1 = Netlist.node nl n1;
+                     n2 = Netlist.node nl n2;
+                     farads = value v;
+                   })
+            | 'l', [ n1; n2; v ] ->
+              Netlist.add nl
+                (Netlist.Inductor
+                   {
+                     name = head;
+                     n1 = Netlist.node nl n1;
+                     n2 = Netlist.node nl n2;
+                     henries = value v;
+                   })
+            | 'k', [ l1; l2; kv ] -> Netlist.add_mutual nl ~name:head l1 l2 (value kv)
+            | 'i', n1 :: n2 :: spec ->
+              let wave = parse_waveform lineno spec in
+              Netlist.add_current_source nl ~name:head (Netlist.node nl n1)
+                (Netlist.node nl n2) wave
+            | 'v', n1 :: n2 :: spec ->
+              let wave = parse_waveform lineno spec in
+              Netlist.add_voltage_source nl ~name:head (Netlist.node nl n1)
+                (Netlist.node nl n2) wave
+            | 'g', [ op; on; ip; inn; gm ] ->
+              Netlist.add nl
+                (Netlist.Vccs
+                   {
+                     name = head;
+                     out_p = Netlist.node nl op;
+                     out_n = Netlist.node nl on;
+                     in_p = Netlist.node nl ip;
+                     in_n = Netlist.node nl inn;
+                     gm = value gm;
+                   })
+            | c, _ ->
+              err (Printf.sprintf "cannot parse element card %c (%d tokens)" c
+                     (List.length rest))
+          end)
+        with
+        | Failure msg | Invalid_argument msg -> err msg
+      end)
+    flat;
+  nl
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string nl =
+  let buf = Buffer.create 1024 in
+  let name_of n = Netlist.node_name nl n in
+  List.iter
+    (fun e ->
+      (match e with
+      | Netlist.Resistor { name; n1; n2; ohms } ->
+        Buffer.add_string buf (Printf.sprintf "%s %s %s %.9g" name (name_of n1) (name_of n2) ohms)
+      | Netlist.Capacitor { name; n1; n2; farads } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %.9g" name (name_of n1) (name_of n2) farads)
+      | Netlist.Inductor { name; n1; n2; henries } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %.9g" name (name_of n1) (name_of n2) henries)
+      | Netlist.Mutual { name; l1; l2; k } ->
+        Buffer.add_string buf (Printf.sprintf "%s %s %s %.9g" name l1 l2 k)
+      | Netlist.Current_source { name; n1; n2; wave }
+      | Netlist.Voltage_source { name; n1; n2; wave } ->
+        Buffer.add_string buf
+          (Format.asprintf "%s %s %s %a" name (name_of n1) (name_of n2) Waveform.pp wave)
+      | Netlist.Vccs { name; out_p; out_n; in_p; in_n; gm } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %s %s %.9g" name (name_of out_p) (name_of out_n)
+             (name_of in_p) (name_of in_n) gm)
+      | Netlist.Nonlinear_conductance { name; _ } ->
+        invalid_arg ("Parser.to_string: nonlinear element " ^ name ^ " not representable"));
+      Buffer.add_char buf '\n')
+    (Netlist.elements nl);
+  List.iter
+    (fun { Netlist.port_name; plus; minus } ->
+      Buffer.add_string buf
+        (if minus = 0 then Printf.sprintf ".port %s %s\n" port_name (name_of plus)
+         else Printf.sprintf ".port %s %s %s\n" port_name (name_of plus) (name_of minus)))
+    (Netlist.ports nl);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

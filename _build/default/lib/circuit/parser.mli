@@ -1,0 +1,41 @@
+(** SPICE-like netlist parser.
+
+    Supported grammar (case-insensitive element letters, [*] and [;]
+    comments, blank lines ignored):
+
+    {v
+    Rname n1 n2 value        resistor
+    Cname n1 n2 value        capacitor
+    Lname n1 n2 value        inductor
+    Kname L1 L2 k            mutual coupling
+    Iname n1 n2 DC v         current source (also PWL(t v ...),
+                             PULSE(lo hi del tr tf w per),
+                             SIN(off ampl freq [delay]))
+    Vname n1 n2 <source>     voltage source (same source grammar)
+    Gname op on ip in gm     VCCS
+    .subckt NAME pin ...     subcircuit definition (until .ends);
+                             local nodes are private per instance
+    Xname n1 ... NAME        subcircuit instantiation (pins bound in
+                             definition order); nested instantiation
+                             is supported up to depth 20
+    .port name node [node]   port declaration (default minus = 0)
+    .end                     optional terminator
+    v}
+
+    Values accept engineering suffixes [f p n u m k meg g t] (e.g.
+    [2.5n], [1MEG], [10k]). *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val value : string -> float
+(** Parse a single engineering-notation value. Raises [Failure]. *)
+
+val parse_string : string -> Netlist.t
+
+val parse_file : string -> Netlist.t
+
+val to_string : Netlist.t -> string
+(** Render a linear netlist back to the textual format (sources are
+    rendered via {!Waveform.pp}; VCCS uses a [G] card; nonlinear
+    elements are not representable and raise [Invalid_argument]). *)

@@ -1,0 +1,63 @@
+type t =
+  | Dc of float
+  | Pwl of (float * float) list
+  | Pulse of {
+      low : float;
+      high : float;
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;
+    }
+  | Sine of { offset : float; amplitude : float; freq : float; delay : float }
+
+let eval_pwl corners t =
+  let rec go prev = function
+    | [] -> snd prev
+    | (t1, v1) :: rest ->
+      if t < t1 then begin
+        let t0, v0 = prev in
+        if t1 = t0 then v1 else v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
+      end
+      else go (t1, v1) rest
+  in
+  match corners with
+  | [] -> 0.0
+  | (t0, v0) :: _ when t <= t0 -> v0
+  | (c :: _ as l) -> go c l
+
+let eval w t =
+  match w with
+  | Dc v -> v
+  | Pwl corners -> eval_pwl corners t
+  | Pulse { low; high; delay; rise; fall; width; period } ->
+    if t < delay then low
+    else begin
+      let tau =
+        if period > 0.0 then Float.rem (t -. delay) period else t -. delay
+      in
+      if tau < rise then low +. ((high -. low) *. tau /. Float.max rise 1e-300)
+      else if tau < rise +. width then high
+      else if tau < rise +. width +. fall then
+        high -. ((high -. low) *. (tau -. rise -. width) /. Float.max fall 1e-300)
+      else low
+    end
+  | Sine { offset; amplitude; freq; delay } ->
+    if t < delay then offset
+    else offset +. (amplitude *. sin (2.0 *. Float.pi *. freq *. (t -. delay)))
+
+let dc_value w = eval w 0.0
+
+let ramp ?(delay = 0.0) ~rise v = Pwl [ (delay, 0.0); (delay +. rise, v) ]
+
+let pp ppf = function
+  | Dc v -> Format.fprintf ppf "DC %g" v
+  | Pwl corners ->
+    Format.fprintf ppf "PWL(%s)"
+      (String.concat " "
+         (List.map (fun (t, v) -> Printf.sprintf "%g %g" t v) corners))
+  | Pulse { low; high; delay; rise; fall; width; period } ->
+    Format.fprintf ppf "PULSE(%g %g %g %g %g %g %g)" low high delay rise fall width period
+  | Sine { offset; amplitude; freq; delay } ->
+    Format.fprintf ppf "SIN(%g %g %g %g)" offset amplitude freq delay

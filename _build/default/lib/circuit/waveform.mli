@@ -1,0 +1,28 @@
+(** Time-domain source waveforms (SPICE-style). *)
+
+type t =
+  | Dc of float
+  | Pwl of (float * float) list
+      (** Piece-wise linear [(time, value)] corners, ascending times;
+          constant extrapolation outside. *)
+  | Pulse of {
+      low : float;
+      high : float;
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;
+    }
+  | Sine of { offset : float; amplitude : float; freq : float; delay : float }
+
+val eval : t -> float -> float
+(** Value at a given time. *)
+
+val dc_value : t -> float
+(** Value at [t = 0⁻] (for the DC operating point). *)
+
+val ramp : ?delay:float -> rise:float -> float -> t
+(** [ramp ~rise v] — a PWL step from 0 to [v] over [rise] seconds. *)
+
+val pp : Format.formatter -> t -> unit

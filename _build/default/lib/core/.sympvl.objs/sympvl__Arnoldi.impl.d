@@ -1,0 +1,1 @@
+lib/core/arnoldi.ml: Circuit Factor Float Linalg List Sparse

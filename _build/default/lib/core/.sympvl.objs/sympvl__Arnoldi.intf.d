@@ -1,0 +1,1 @@
+lib/core/arnoldi.mli: Circuit Complex Linalg

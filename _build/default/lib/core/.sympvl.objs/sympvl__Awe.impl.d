@@ -1,0 +1,1 @@
+lib/core/awe.ml: Array Circuit Complex Float Linalg Moments

@@ -1,0 +1,1 @@
+lib/core/awe.mli: Circuit Complex

@@ -1,0 +1,1 @@
+lib/core/band_lanczos.ml: Array Float Linalg List Logs

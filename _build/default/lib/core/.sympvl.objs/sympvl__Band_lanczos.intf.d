@@ -1,0 +1,1 @@
+lib/core/band_lanczos.mli: Linalg

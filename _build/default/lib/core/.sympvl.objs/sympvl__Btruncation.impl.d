@@ -1,0 +1,1 @@
+lib/core/btruncation.ml: Array Circuit Float Linalg List Sparse

@@ -1,0 +1,1 @@
+lib/core/btruncation.mli: Circuit Complex Linalg

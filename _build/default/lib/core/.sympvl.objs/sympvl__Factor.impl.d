@@ -1,0 +1,1 @@
+lib/core/factor.ml: Array Float Linalg Logs Sparse

@@ -1,0 +1,1 @@
+lib/core/factor.mli: Linalg Sparse

@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Circuit Complex Float Linalg List

@@ -1,0 +1,1 @@
+lib/core/model.mli: Circuit Complex Linalg

@@ -1,0 +1,1 @@
+lib/core/moments.ml: Array Circuit Factor Float Linalg Model Sparse

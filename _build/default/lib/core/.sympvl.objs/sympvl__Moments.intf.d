@@ -1,0 +1,1 @@
+lib/core/moments.mli: Circuit Linalg Model

@@ -1,0 +1,1 @@
+lib/core/mpvl.ml: Array Circuit Factor Float Linalg List Reduce Sparse

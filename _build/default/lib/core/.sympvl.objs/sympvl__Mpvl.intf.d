@@ -1,0 +1,1 @@
+lib/core/mpvl.mli: Circuit Complex Linalg

@@ -1,0 +1,1 @@
+lib/core/postprocess.ml: Array Circuit Complex Float Linalg List Model

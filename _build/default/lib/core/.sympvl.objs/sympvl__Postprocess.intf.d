@@ -1,0 +1,1 @@
+lib/core/postprocess.mli: Circuit Complex Linalg Model

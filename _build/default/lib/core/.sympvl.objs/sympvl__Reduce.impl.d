@@ -1,0 +1,1 @@
+lib/core/reduce.ml: Array Band_lanczos Circuit Factor Float Linalg List Logs Model Sparse

@@ -1,0 +1,1 @@
+lib/core/reduce.mli: Circuit Model

@@ -1,0 +1,1 @@
+lib/core/stability.ml: Array Complex Float Linalg List Model

@@ -1,0 +1,1 @@
+lib/core/stability.mli: Complex Model

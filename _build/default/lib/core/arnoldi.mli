@@ -1,0 +1,48 @@
+(** Block-Arnoldi reduction with congruence projection — the
+    coordinate-transformed Arnoldi alternative of Silveira et al. [16]
+    (and of PRIMA), implemented as a baseline for the benches.
+
+    An orthonormal basis [V] of the block Krylov space of
+    [((G + s₀C)⁻¹C, (G + s₀C)⁻¹B)] is built by block Arnoldi with full
+    modified Gram–Schmidt; the reduced model is the congruence
+    projection [Ĝ = VᵀGV], [Ĉ = VᵀCV], [B̂ = VᵀB]. It matches only
+    [⌊n/p⌋] moments (half of SyMPVL's Padé count) but preserves
+    semi-definiteness of [G] and [C] by congruence. *)
+
+type t = {
+  ghat : Linalg.Mat.t;
+  chat : Linalg.Mat.t;
+  bhat : Linalg.Mat.t;
+  order : int;
+  p : int;
+  shift : float;
+  variable : Circuit.Mna.variable;
+  gain : Circuit.Mna.gain;
+}
+
+val reduce : ?shift:float -> ?band:float * float -> order:int -> Circuit.Mna.t -> t
+(** Reduce to (at most) the given order; the basis may saturate
+    earlier if the Krylov space is exhausted. [band] selects the
+    automatic shift when [G] is singular, as in {!Reduce}. *)
+
+val reduce_multipoint : points:(float * int) list -> Circuit.Mna.t -> t
+(** Rational (multi-point) Krylov reduction — the natural extension of
+    the single-expansion method (complex-frequency-hopping style,
+    listed as future work in the Padé line). [points] gives
+    [(s₀, k)] pairs in the pencil variable: [k] block-Krylov steps of
+    [((G + s₀C)⁻¹C, (G + s₀C)⁻¹B)] are generated at each shift and the
+    union basis is orthonormalised before the congruence projection.
+    By symmetry the model interpolates ≈ [2k] moments {e at every
+    shift}, trading depth at one point for wideband coverage. The
+    [shift] field of the result holds the first point. *)
+
+val shift_of_hz : Circuit.Mna.t -> float -> float
+(** Convert a frequency in Hz to an expansion point in the pencil
+    variable ([2πf], squared for the LC [s²] form). *)
+
+val eval : t -> Complex.t -> Linalg.Cmat.t
+(** Evaluate [B̂ᵀ(Ĝ + var·Ĉ)⁻¹B̂] at physical [s] (with the same
+    variable/gain conventions as {!Model.eval}). *)
+
+val poles : t -> Complex.t array
+(** Physical poles of the reduced pencil. *)

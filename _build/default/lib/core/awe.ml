@@ -1,0 +1,81 @@
+type t = {
+  poles : Complex.t array;
+  residues : Complex.t array;
+  order : int;
+  shift : float;
+  gain : Circuit.Mna.gain;
+  hankel_rcond : float;
+}
+
+exception Breakdown of string
+
+let build ?(shift = 0.0) ~order ~port (m : Circuit.Mna.t) =
+  if m.Circuit.Mna.variable <> Circuit.Mna.S then
+    invalid_arg "Awe.build: only pencils in the s variable are supported";
+  let q = order in
+  assert (q >= 1);
+  (* scalar moments c_0 .. c_{2q-1} of the chosen port *)
+  let b = Linalg.Mat.create m.Circuit.Mna.n 1 in
+  Linalg.Mat.set_col b 0 (Linalg.Mat.col m.Circuit.Mna.b port);
+  let scalar_mna = { m with Circuit.Mna.b; port_names = [| "awe" |] } in
+  let mats = Moments.exact ~shift scalar_mna (2 * q) in
+  let c_raw = Array.map (fun mk -> Linalg.Mat.get mk 0 0) mats in
+  (* moment scaling (standard AWE practice): work in σ′ = ασ with
+     α ≈ the dominant time constant so the scaled moments are O(c₀);
+     without this the Hankel system under/overflows immediately *)
+  let alpha =
+    if Float.abs c_raw.(0) > 0.0 && Float.abs c_raw.(1) > 0.0 then
+      Float.abs (c_raw.(1) /. c_raw.(0))
+    else 1.0
+  in
+  let c = Array.mapi (fun k ck -> ck /. (alpha ** float_of_int k)) c_raw in
+  (* Padé denominator b(σ) = 1 + b₁σ + … + b_qσ^q from the Hankel
+     system Σ_{j=1..q} b_j c_{k−j} = −c_k, k = q … 2q−1 *)
+  let h = Linalg.Mat.init q q (fun r j -> c.(q + r - (j + 1))) in
+  let rhs = Linalg.Vec.init q (fun r -> -.c.(q + r)) in
+  let lu =
+    match Linalg.Lu.factor h with
+    | lu -> lu
+    | exception Linalg.Lu.Singular _ -> raise (Breakdown "singular Hankel system")
+  in
+  let hankel_rcond = Linalg.Lu.rcond_estimate lu in
+  let bs = Linalg.Lu.solve_vec lu rhs in
+  let denom = Array.init (q + 1) (fun k -> if k = 0 then 1.0 else bs.(k - 1)) in
+  (* numerator a_k = Σ_{j=0..k} b_j c_{k−j}, k = 0 … q−1 *)
+  let numer =
+    Array.init q (fun k ->
+        let s = ref 0.0 in
+        for j = 0 to k do
+          s := !s +. (denom.(j) *. c.(k - j))
+        done;
+        !s)
+  in
+  let poles_scaled = Linalg.Poly.roots denom in
+  if Array.exists (fun p -> not (Linalg.Cx.is_finite p)) poles_scaled then
+    raise (Breakdown "pole computation diverged");
+  (* residues of a(σ′)/b(σ′) at each simple pole: a(p)/b'(p); then
+     undo the scaling: σ′ = ασ means pole/α and residue/α *)
+  let db = Linalg.Poly.derivative denom in
+  let residues_scaled =
+    Array.map
+      (fun p ->
+        let d = Linalg.Poly.eval_cx db p in
+        if Linalg.Cx.abs d = 0.0 then raise (Breakdown "defective pole");
+        Linalg.Cx.(Linalg.Poly.eval_cx numer p /: d))
+      poles_scaled
+  in
+  let poles = Array.map (fun p -> Linalg.Cx.smul (1.0 /. alpha) p) poles_scaled in
+  let residues =
+    Array.map (fun r -> Linalg.Cx.smul (1.0 /. alpha) r) residues_scaled
+  in
+  { poles; residues; order = q; shift; gain = m.Circuit.Mna.gain; hankel_rcond }
+
+let eval t s =
+  let sigma = Linalg.Cx.(s -: re t.shift) in
+  let z = ref Linalg.Cx.zero in
+  Array.iteri
+    (fun k p -> z := Linalg.Cx.(!z +: (t.residues.(k) /: (sigma -: p))))
+    t.poles;
+  match t.gain with
+  | Circuit.Mna.Unit -> !z
+  | Circuit.Mna.Times_s -> Linalg.Cx.(s *: !z)

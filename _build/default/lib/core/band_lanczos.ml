@@ -1,0 +1,235 @@
+type result = {
+  vectors : Linalg.Mat.t;
+  t_mat : Linalg.Mat.t;
+  delta : Linalg.Mat.t;
+  rho : Linalg.Mat.t;
+  p1 : int;
+  order : int;
+  deflations : int list;
+  n_clusters : int;
+  look_ahead_steps : int;
+  exhausted : bool;
+}
+
+type cluster = {
+  mutable members : int list; (* paper indices (1-based), ascending *)
+  mutable gram : Linalg.Mat.t option; (* Δ^(γ) once closed *)
+  mutable gram_lu : Linalg.Lu.t option;
+}
+
+type candidate = { vec : Linalg.Vec.t; norm0 : float }
+
+let log_src = Logs.Src.create "sympvl.lanczos" ~doc:"band Lanczos process"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start () =
+  let nn = start.Linalg.Mat.rows in
+  let p = start.Linalg.Mat.cols in
+  assert (p >= 1 && n_max >= 1 && Array.length j = nn);
+  let j_dot x y = Linalg.Vec.dot3 x j y in
+  (* storage; paper index n is 1-based: vs.(n-1) = v_n *)
+  let vs = Array.make n_max [||] in
+  let nv = ref 0 in
+  let tm = Linalg.Mat.create n_max n_max in
+  let rho = Linalg.Mat.create n_max p in
+  (* paper column c: c ≥ 1 goes to T, c ≤ 0 to ρ (column c + p − 1,
+     0-based); rows are 1-based paper indices *)
+  let add_t row col v =
+    if col >= 1 then Linalg.Mat.add_to tm (row - 1) (col - 1) v
+    else Linalg.Mat.add_to rho (row - 1) (col + p - 1) v
+  in
+  (* candidate queue: head is v̂_{n}; uses a list ref (short) *)
+  let cands =
+    ref
+      (List.init p (fun i ->
+           let col = Linalg.Mat.col start i in
+           { vec = col; norm0 = Float.max (Linalg.Vec.norm2 col) 1e-300 }))
+  in
+  let pc () = List.length !cands in
+  (* clusters, 1-based: clusters.(g-1) *)
+  let clusters = ref [||] in
+  let n_gamma = ref 0 in
+  let new_cluster () =
+    incr n_gamma;
+    let c = { members = []; gram = None; gram_lu = None } in
+    clusters := Array.append !clusters [| c |]
+  in
+  new_cluster ();
+  let cluster g = !clusters.(g - 1) in
+  let gamma_of = Array.make (n_max + 1) 0 in
+  let gamma_v = ref 1 in
+  let iv = ref [] in
+  let deflations = ref [] in
+  let look_ahead_steps = ref 0 in
+  let exhausted = ref false in
+  let p1 = ref 0 in
+  (* J-orthogonalise [v] against closed cluster [g], recording the
+     coefficients in column [col] (paper indexing) *)
+  let ortho_against_cluster v g col =
+    let c = cluster g in
+    match (c.gram_lu, c.members) with
+    | Some lu, members ->
+      let members_arr = Array.of_list members in
+      let rhs =
+        Linalg.Vec.init (Array.length members_arr) (fun k ->
+            j_dot vs.(members_arr.(k) - 1) v)
+      in
+      let coeff = Linalg.Lu.solve_vec lu rhs in
+      Array.iteri
+        (fun k m ->
+          Linalg.Vec.axpy (-.coeff.(k)) vs.(m - 1) v;
+          add_t m col coeff.(k))
+        members_arr
+    | None, _ -> () (* open cluster: look-ahead, skip *)
+  in
+  let n = ref 0 in
+  (try
+     while !nv < n_max do
+       incr n;
+       let n_cur = !n in
+       (* ---- step 1: deflate-or-accept loop ---- *)
+       let accepted = ref None in
+       while !accepted = None do
+         match !cands with
+         | [] ->
+           exhausted := true;
+           raise Exit
+         | head :: rest ->
+           let phi = n_cur - pc () in
+           (* 1b: orthogonalise against the current (open) cluster in
+              the Euclidean inner product *)
+           let cg = cluster !n_gamma in
+           List.iter
+             (fun i ->
+               let tau = Linalg.Vec.dot vs.(i - 1) head.vec in
+               Linalg.Vec.axpy (-.tau) vs.(i - 1) head.vec;
+               add_t i phi tau)
+             cg.members;
+           let nrm = Linalg.Vec.norm2 head.vec in
+           if nrm > dtol *. head.norm0 then begin
+             (* 1h: accept and normalise *)
+             add_t n_cur phi nrm;
+             let v = Linalg.Vec.scale (1.0 /. nrm) head.vec in
+             vs.(n_cur - 1) <- v;
+             incr nv;
+             cands := rest;
+             if phi <= 0 then incr p1;
+             accepted := Some phi
+           end
+           else begin
+             (* deflate *)
+             deflations := n_cur :: !deflations;
+             if pc () = 1 then begin
+               exhausted := true;
+               raise Exit
+             end;
+             if phi > 0 && nrm > 0.0 then begin
+               let g = gamma_of.(phi) in
+               if not (List.mem g !iv) then iv := g :: !iv
+             end;
+             cands := rest
+           end
+       done;
+       (* 1i: cluster membership; note n − p_c is exactly the accepted
+          candidate's column φ *)
+       let phi_accepted = match !accepted with Some phi -> phi | None -> assert false in
+       let cg = cluster !n_gamma in
+       gamma_of.(n_cur) <- !n_gamma;
+       cg.members <- cg.members @ [ n_cur ];
+       if cg.members = [ n_cur ] then gamma_v := gamma_of.(max 1 phi_accepted);
+       (* ---- step 2: try to close the current cluster ---- *)
+       let members_arr = Array.of_list cg.members in
+       let msize = Array.length members_arr in
+       let gram =
+         Linalg.Mat.init msize msize (fun a b ->
+             j_dot vs.(members_arr.(a) - 1) vs.(members_arr.(b) - 1))
+       in
+       let closeable =
+         match Linalg.Lu.factor gram with
+         | lu -> if Linalg.Lu.rcond_estimate lu > ctol then Some lu else None
+         | exception Linalg.Lu.Singular _ -> None
+       in
+       (match closeable with
+       | Some lu ->
+         cg.gram <- Some gram;
+         cg.gram_lu <- Some lu;
+         (* 2c: J-orthogonalise the remaining candidates against the
+            cluster just closed. Candidate at queue position q is
+            v̂_{n+1+q} with paper column (n+1+q) − p_c, where the block
+            size p_c is the queue length plus the accepted head. *)
+         let pc_after = pc () in
+         List.iteri
+           (fun q cand ->
+             ortho_against_cluster cand.vec !n_gamma (n_cur + q - pc_after))
+           !cands;
+         (* 2d: open a fresh cluster *)
+         new_cluster ()
+       | None -> incr look_ahead_steps);
+       (* ---- step 3: new candidate v = F v_n. Runs on the final
+          iteration too: its orthogonalisation coefficients are the
+          last column of Tₙ. ---- *)
+       begin
+         let v = op vs.(n_cur - 1) in
+         let norm0 = Float.max (Linalg.Vec.norm2 v) 1e-300 in
+         if full_ortho then
+           (* robust mode: all closed clusters *)
+           for g = 1 to !n_gamma do
+             ortho_against_cluster v g n_cur
+           done
+         else begin
+           (* paper window: γ_v … γ−1 plus inexact-deflation clusters *)
+           let lo = !gamma_v in
+           List.iter
+             (fun g -> if g < lo then ortho_against_cluster v g n_cur)
+             (List.sort_uniq compare !iv);
+           for g = lo to !n_gamma - 1 do
+             ortho_against_cluster v g n_cur
+           done;
+           (* the current cluster, when closed, was handled above as
+              part of γ_v … γ−1 after the increment in 2d *)
+           ()
+         end;
+         cands := !cands @ [ { vec = v; norm0 } ]
+       end
+     done
+   with Exit -> ());
+  let order = !nv in
+  (* assemble outputs at the achieved order *)
+  let vectors = Linalg.Mat.create nn order in
+  for k = 0 to order - 1 do
+    Linalg.Mat.set_col vectors k vs.(k)
+  done;
+  let t_mat = Linalg.Mat.submatrix tm 0 0 order order in
+  let rho_out = Linalg.Mat.submatrix rho 0 0 order p in
+  let delta = Linalg.Mat.create order order in
+  for a = 0 to order - 1 do
+    for b = 0 to order - 1 do
+      if gamma_of.(a + 1) = gamma_of.(b + 1) then
+        Linalg.Mat.set delta a b (j_dot vs.(a) vs.(b))
+    done
+  done;
+  let n_clusters =
+    if order = 0 then 0
+    else
+      Array.fold_left
+        (fun acc c -> if c.members = [] then acc else acc + 1)
+        0 !clusters
+  in
+  Log.debug (fun m ->
+      m "band Lanczos: order=%d p1=%d deflations=%d clusters=%d look-ahead=%d"
+        order !p1
+        (List.length !deflations)
+        n_clusters !look_ahead_steps);
+  {
+    vectors;
+    t_mat;
+    delta;
+    rho = rho_out;
+    p1 = !p1;
+    order;
+    deflations = List.rev !deflations;
+    n_clusters;
+    look_ahead_steps = !look_ahead_steps;
+    exhausted = !exhausted;
+  }

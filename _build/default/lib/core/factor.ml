@@ -1,0 +1,84 @@
+type t = {
+  n : int;
+  j : float array;
+  definite : bool;
+  apply_m_inv : Linalg.Vec.t -> Linalg.Vec.t;
+  apply_mt_inv : Linalg.Vec.t -> Linalg.Vec.t;
+  solve : Linalg.Vec.t -> Linalg.Vec.t;
+  kind : [ `Skyline | `Dense ];
+}
+
+exception Singular of int
+
+let log_src = Logs.Src.create "sympvl.factor" ~doc:"G = M J Mt factorisation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Skyline path: P G Pᵀ = L D Lᵀ, M = Pᵀ L S with S = diag(√|D|),
+   J = sign(D). Operators in original coordinates. *)
+let of_skyline n perm fac =
+  let d = Sparse.Skyline.Real.d fac in
+  let j = Array.map (fun x -> if x >= 0.0 then 1.0 else -1.0) d in
+  let s = Array.map (fun x -> sqrt (Float.abs x)) d in
+  let definite = Array.for_all (fun x -> x > 0.0) j in
+  let inv = Array.make n 0 in
+  Array.iteri (fun new_i old_i -> inv.(old_i) <- new_i) perm;
+  let permute x = Array.init n (fun i -> x.(perm.(i))) in
+  let unpermute y =
+    let out = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      out.(perm.(i)) <- y.(i)
+    done;
+    out
+  in
+  let apply_m_inv x =
+    (* S⁻¹ L⁻¹ P x *)
+    let z = Sparse.Skyline.Real.solve_lower fac (permute x) in
+    for i = 0 to n - 1 do
+      z.(i) <- z.(i) /. s.(i)
+    done;
+    z
+  in
+  let apply_mt_inv y =
+    (* Pᵀ L⁻ᵀ S⁻¹ y *)
+    let z = Array.init n (fun i -> y.(i) /. s.(i)) in
+    unpermute (Sparse.Skyline.Real.solve_lower_t fac z)
+  in
+  let solve b = unpermute (Sparse.Skyline.Real.solve fac (permute b)) in
+  { n; j; definite; apply_m_inv; apply_mt_inv; solve; kind = `Skyline }
+
+let of_csr ?(ordering = true) ?pivot_tol a =
+  assert (a.Sparse.Csr.rows = a.Sparse.Csr.cols);
+  let n = a.Sparse.Csr.rows in
+  let perm = if ordering then Sparse.Rcm.order a else Sparse.Rcm.identity n in
+  let pa = Sparse.Csr.permute_sym a perm in
+  match Sparse.Skyline.factor_real ?pivot_tol pa with
+  | fac -> of_skyline n perm fac
+  | exception Sparse.Skyline.Singular i -> raise (Singular i)
+
+let of_dense a =
+  let n = a.Linalg.Mat.rows in
+  match Linalg.Ldlt.factor a with
+  | fac ->
+    {
+      n;
+      j = Linalg.Ldlt.j_diag fac;
+      definite = Linalg.Ldlt.is_definite fac;
+      apply_m_inv = Linalg.Ldlt.apply_m_inv fac;
+      apply_mt_inv = Linalg.Ldlt.apply_mt_inv fac;
+      solve = Linalg.Ldlt.solve fac;
+      kind = `Dense;
+    }
+  | exception Linalg.Ldlt.Singular i -> raise (Singular i)
+
+let auto ?ordering a =
+  match of_csr ?ordering a with
+  | f -> f
+  | exception Singular i ->
+    Log.info (fun m ->
+        m "skyline pivot breakdown at %d; falling back to dense Bunch-Kaufman" i);
+    of_dense (Sparse.Csr.to_dense a)
+
+let with_shift ?ordering g c s0 =
+  let shifted = if s0 = 0.0 then g else Sparse.Csr.add ~alpha:1.0 ~beta:s0 g c in
+  auto ?ordering shifted

@@ -1,0 +1,39 @@
+(** Front-end for the symmetric factorisation [G = M J Mᵀ] (paper
+    eq. (15)) with [J = diag(±1)].
+
+    All returned operators act in the original coordinates; any
+    internal fill-reducing permutation is hidden. Positive
+    semi-definite inputs that factor cleanly give [J = I]
+    ([definite = true]) — the provably stable/passive SyMPVL path. *)
+
+type t = {
+  n : int;
+  j : float array;  (** Diagonal of [J], entries ±1. *)
+  definite : bool;  (** [J = I]. *)
+  apply_m_inv : Linalg.Vec.t -> Linalg.Vec.t;  (** [M⁻¹ x]. *)
+  apply_mt_inv : Linalg.Vec.t -> Linalg.Vec.t;  (** [M⁻ᵀ x]. *)
+  solve : Linalg.Vec.t -> Linalg.Vec.t;
+      (** [G⁻¹ b = M⁻ᵀ J⁻¹ M⁻¹ b] (used by the moment checker). *)
+  kind : [ `Skyline | `Dense ];  (** Which backend factored [G]. *)
+}
+
+exception Singular of int
+(** The matrix is numerically singular — apply a frequency shift
+    (paper eq. (26)) and retry. *)
+
+val of_csr : ?ordering:bool -> ?pivot_tol:float -> Sparse.Csr.t -> t
+(** Sparse path: RCM ordering (unless [ordering:false]) followed by
+    skyline LDLᵀ. Raises {!Singular} on pivot breakdown — note that
+    an *indefinite* matrix can also break down without pivoting; use
+    {!auto} to fall back to the dense Bunch–Kaufman factorisation. *)
+
+val of_dense : Linalg.Mat.t -> t
+(** Dense Bunch–Kaufman path (any symmetric nonsingular input). *)
+
+val auto : ?ordering:bool -> Sparse.Csr.t -> t
+(** Skyline first; on breakdown, dense Bunch–Kaufman. Raises
+    {!Singular} only if both fail (then the matrix really is
+    singular: shift). *)
+
+val with_shift : ?ordering:bool -> Sparse.Csr.t -> Sparse.Csr.t -> float -> t
+(** [with_shift g c s0] factors [G + s0·C] via {!auto}. *)

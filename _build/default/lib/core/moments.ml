@@ -1,0 +1,83 @@
+let exact ?(shift = 0.0) (m : Circuit.Mna.t) k =
+  let fac = Factor.with_shift m.Circuit.Mna.g m.Circuit.Mna.c shift in
+  let p = m.Circuit.Mna.b.Linalg.Mat.cols in
+  let n = m.Circuit.Mna.n in
+  (* X₀ = K⁻¹B, X_{j+1} = K⁻¹ C X_j; moment_j = (−1)ʲ Bᵀ X_j *)
+  let x = Linalg.Mat.create n p in
+  for c = 0 to p - 1 do
+    Linalg.Mat.set_col x c (fac.Factor.solve (Linalg.Mat.col m.Circuit.Mna.b c))
+  done;
+  let x = ref x in
+  Array.init k (fun jdx ->
+      if jdx > 0 then begin
+        let next = Linalg.Mat.create n p in
+        for c = 0 to p - 1 do
+          let cx = Sparse.Csr.mul_vec m.Circuit.Mna.c (Linalg.Mat.col !x c) in
+          Linalg.Mat.set_col next c (fac.Factor.solve cx)
+        done;
+        x := next
+      end;
+      let mk = Linalg.Mat.mul (Linalg.Mat.transpose m.Circuit.Mna.b) !x in
+      if jdx mod 2 = 0 then mk else Linalg.Mat.scale (-1.0) mk)
+
+let relative_errors ?shift model mna k =
+  let shift = match shift with Some s -> s | None -> model.Model.shift in
+  let ex = exact ~shift mna k in
+  let red = Model.moments model k in
+  Array.init k (fun i ->
+      let scale = Float.max (Linalg.Mat.max_abs ex.(i)) 1e-300 in
+      Linalg.Mat.dist_max ex.(i) red.(i) /. scale)
+
+let matched_count ?shift ?(rtol = 1e-6) model mna =
+  let max_check = (2 * model.Model.order) + 2 in
+  let errs = relative_errors ?shift model mna max_check in
+  let rec count i = if i < max_check && errs.(i) <= rtol then count (i + 1) else i in
+  count 0
+
+(* Scaled comparison: run both Krylov recurrences with per-step
+   renormalisation by the exact iterate's magnitude, so the two
+   sequences stay on a common scale and never leave the float range. *)
+let relative_errors_scaled ?shift model mna k =
+  let shift = match shift with Some s -> s | None -> model.Model.shift in
+  let fac = Factor.with_shift mna.Circuit.Mna.g mna.Circuit.Mna.c shift in
+  let p = mna.Circuit.Mna.b.Linalg.Mat.cols in
+  let n = mna.Circuit.Mna.n in
+  (* exact iterate *)
+  let x = Linalg.Mat.create n p in
+  for c = 0 to p - 1 do
+    Linalg.Mat.set_col x c (fac.Factor.solve (Linalg.Mat.col mna.Circuit.Mna.b c))
+  done;
+  let x = ref x in
+  (* reduced iterate: y₀ = ρ, moment = ρᵀ Δ y (sign-free: both sides
+     carry the same (−1)ᵏ, which cancels in the comparison) *)
+  let rho_delta =
+    Linalg.Mat.mul (Linalg.Mat.transpose model.Model.rho) model.Model.delta
+  in
+  let y = ref (Linalg.Mat.copy model.Model.rho) in
+  let errs = Array.make k 0.0 in
+  for jdx = 0 to k - 1 do
+    if jdx > 0 then begin
+      (* advance both recurrences *)
+      let next = Linalg.Mat.create n p in
+      for c = 0 to p - 1 do
+        let cx = Sparse.Csr.mul_vec mna.Circuit.Mna.c (Linalg.Mat.col !x c) in
+        Linalg.Mat.set_col next c (fac.Factor.solve cx)
+      done;
+      let ynext = Linalg.Mat.mul model.Model.t_mat !y in
+      (* common renormalisation by the exact iterate's magnitude *)
+      let scale = Float.max (Linalg.Mat.max_abs next) 1e-300 in
+      x := Linalg.Mat.scale (1.0 /. scale) next;
+      y := Linalg.Mat.scale (1.0 /. scale) ynext
+    end;
+    let m_ex = Linalg.Mat.mul (Linalg.Mat.transpose mna.Circuit.Mna.b) !x in
+    let m_red = Linalg.Mat.mul rho_delta !y in
+    let denom = Float.max (Linalg.Mat.max_abs m_ex) 1e-300 in
+    errs.(jdx) <- Linalg.Mat.dist_max m_ex m_red /. denom
+  done;
+  errs
+
+let matched_count_scaled ?shift ?(rtol = 1e-6) model mna =
+  let max_check = (2 * model.Model.order) + 2 in
+  let errs = relative_errors_scaled ?shift model mna max_check in
+  let rec count i = if i < max_check && errs.(i) <= rtol then count (i + 1) else i in
+  count 0

@@ -1,0 +1,168 @@
+type t = {
+  t_mat : Linalg.Mat.t;
+  d : Linalg.Mat.t;
+  mu : Linalg.Mat.t;
+  eta : Linalg.Mat.t;
+  order : int;
+  p : int;
+  shift : float;
+  variable : Circuit.Mna.variable;
+  gain : Circuit.Mna.gain;
+  deflations : int;
+}
+
+exception Breakdown of int
+
+(* Two-sided block Lanczos with full biorthogonalisation and
+   synchronised deflation (a right/left candidate pair is dropped
+   together, keeping the block sizes equal). The matrices G and C of
+   this codebase's MNA forms are symmetric, so the transposed
+   operator is Aᵀ = C K⁻¹; the algorithm still runs the full
+   two-sided process — it merely does not *exploit* the symmetry,
+   which is exactly the MPVL-vs-SyMPVL comparison point. *)
+let run_lanczos ~dtol ~order ~op ~op_t ~r_start ~l_start =
+  let p = r_start.Linalg.Mat.cols in
+  let vs = ref [] and ws = ref [] and ds = ref [] in
+  let nv = ref 0 in
+  let deflations = ref 0 in
+  let right = ref (List.init p (fun c -> Linalg.Mat.col r_start c)) in
+  let left = ref (List.init p (fun c -> Linalg.Mat.col l_start c)) in
+  let biortho_right r =
+    List.iteri
+      (fun i v ->
+        let w = List.nth !ws i and d = List.nth !ds i in
+        let coeff = Linalg.Vec.dot w r /. d in
+        Linalg.Vec.axpy (-.coeff) v r)
+      !vs
+  in
+  let biortho_left l =
+    List.iteri
+      (fun i w ->
+        let v = List.nth !vs i and d = List.nth !ds i in
+        let coeff = Linalg.Vec.dot v l /. d in
+        Linalg.Vec.axpy (-.coeff) w l)
+      !ws
+  in
+  (try
+     while !nv < order && !right <> [] do
+       match (!right, !left) with
+       | r :: rrest, l :: lrest ->
+         let r0 = Float.max (Linalg.Vec.norm2 r) 1e-300 in
+         let l0 = Float.max (Linalg.Vec.norm2 l) 1e-300 in
+         biortho_right r;
+         biortho_left l;
+         let rn = Linalg.Vec.norm2 r and ln = Linalg.Vec.norm2 l in
+         right := rrest;
+         left := lrest;
+         if rn <= dtol *. r0 || ln <= dtol *. l0 then incr deflations
+         else begin
+           Linalg.Vec.scale_ip (1.0 /. rn) r;
+           Linalg.Vec.scale_ip (1.0 /. ln) l;
+           let d = Linalg.Vec.dot l r in
+           if Float.abs d < 1e-13 then raise (Breakdown (!nv + 1));
+           vs := !vs @ [ r ];
+           ws := !ws @ [ l ];
+           ds := !ds @ [ d ];
+           incr nv;
+           if !nv < order then begin
+             right := !right @ [ op r ];
+             left := !left @ [ op_t l ]
+           end
+         end
+       | _, _ -> right := []
+     done
+   with Exit -> ());
+  (Array.of_list !vs, Array.of_list !ws, Array.of_list !ds, !deflations)
+
+let reduce ?shift ?band ?(dtol = 1e-8) ~order (m : Circuit.Mna.t) =
+  let g = m.Circuit.Mna.g and c = m.Circuit.Mna.c in
+  let resolve () =
+    match shift with
+    | Some s0 -> (s0, Factor.with_shift g c s0)
+    | None -> (
+      match Factor.with_shift g c 0.0 with
+      | fac -> (0.0, fac)
+      | exception Factor.Singular _ ->
+        let s0 =
+          match band with
+          | Some b -> Reduce.band_shift m b
+          | None -> Reduce.auto_shift m
+        in
+        (s0, Factor.with_shift g c s0))
+  in
+  let s0, fac = resolve () in
+  let op v = fac.Factor.solve (Sparse.Csr.mul_vec c v) in
+  let op_t v = Sparse.Csr.mul_vec c (fac.Factor.solve v) in
+  let p = m.Circuit.Mna.b.Linalg.Mat.cols in
+  let n_full = m.Circuit.Mna.n in
+  let r_start = Linalg.Mat.create n_full p in
+  for k = 0 to p - 1 do
+    Linalg.Mat.set_col r_start k (fac.Factor.solve (Linalg.Mat.col m.Circuit.Mna.b k))
+  done;
+  let vs, ws, ds, deflations =
+    run_lanczos ~dtol ~order ~op ~op_t ~r_start ~l_start:m.Circuit.Mna.b
+  in
+  let n = Array.length vs in
+  if n = 0 then raise (Breakdown 0);
+  let v = Linalg.Mat.of_cols (Array.to_list vs) in
+  let w = Linalg.Mat.of_cols (Array.to_list ws) in
+  (* S = Wᵀ A V, T = D⁻¹S, μ = Wᵀ(K⁻¹B), η = VᵀB *)
+  let av = Linalg.Mat.of_cols (List.init n (fun j -> op (Linalg.Mat.col v j))) in
+  let s_mat = Linalg.Mat.mul (Linalg.Mat.transpose w) av in
+  let t_mat =
+    Linalg.Mat.init n n (fun i j -> Linalg.Mat.get s_mat i j /. ds.(i))
+  in
+  let mu = Linalg.Mat.mul (Linalg.Mat.transpose w) r_start in
+  let eta = Linalg.Mat.mul (Linalg.Mat.transpose v) m.Circuit.Mna.b in
+  {
+    t_mat;
+    d = Linalg.Mat.diag (Linalg.Vec.init n (fun i -> ds.(i)));
+    mu;
+    eta;
+    order = n;
+    p;
+    shift = s0;
+    variable = m.Circuit.Mna.variable;
+    gain = m.Circuit.Mna.gain;
+    deflations;
+  }
+
+let eval t s =
+  let var =
+    match t.variable with
+    | Circuit.Mna.S -> s
+    | Circuit.Mna.S_squared -> Linalg.Cx.(s *: s)
+  in
+  let sigma = Linalg.Cx.(var -: re t.shift) in
+  let n = t.order in
+  let k = Linalg.Cmat.lincomb Linalg.Cx.one (Linalg.Mat.identity n) sigma t.t_mat in
+  (* x = (I + σT)⁻¹ D⁻¹ μ *)
+  let dinv_mu =
+    Linalg.Mat.init n t.p (fun i j -> Linalg.Mat.get t.mu i j /. Linalg.Mat.get t.d i i)
+  in
+  let x = Linalg.Cmat.lu_solve_mat (Linalg.Cmat.lu_factor k) (Linalg.Cmat.of_real dinv_mu) in
+  let z = Linalg.Cmat.mul (Linalg.Cmat.of_real (Linalg.Mat.transpose t.eta)) x in
+  match t.gain with
+  | Circuit.Mna.Unit -> z
+  | Circuit.Mna.Times_s -> Linalg.Cmat.scale s z
+
+let poles t =
+  let eigs = Linalg.Eig_gen.eigenvalues t.t_mat in
+  let lam_max = Array.fold_left (fun acc l -> Float.max acc (Linalg.Cx.abs l)) 1e-300 eigs in
+  let mapped =
+    eigs
+    |> Array.to_list
+    |> List.filter_map (fun lam ->
+           if Linalg.Cx.abs lam <= 1e-12 *. lam_max then None
+           else begin
+             let sigma = Linalg.Cx.(neg (inv lam)) in
+             let shifted = Linalg.Cx.(sigma +: re t.shift) in
+             match t.variable with
+             | Circuit.Mna.S -> Some [ shifted ]
+             | Circuit.Mna.S_squared ->
+               let r = Linalg.Cx.sqrt shifted in
+               Some [ r; Linalg.Cx.neg r ]
+           end)
+    |> List.concat
+  in
+  Array.of_list mapped

@@ -1,0 +1,48 @@
+(** MPVL — matrix-Padé via a (two-sided) block Lanczos process.
+
+    The paper's predecessor algorithm (Feldmann & Freund, DAC 1995,
+    ref. [6]): a matrix-Padé approximant of [Z(s) = Bᵀ(G + sC)⁻¹B]
+    computed with a {e two-sided} block Krylov process that makes no
+    use of symmetry. SyMPVL is its symmetric specialisation — at
+    roughly half the work and memory, which is this module's role in
+    the benches: validate that both compute the same approximant on
+    symmetric input, and quantify SyMPVL's advantage.
+
+    This implementation biorthogonalises fully against all previous
+    vectors (numerically robust; identical output in exact
+    arithmetic) and deflates dependent candidates, but implements no
+    look-ahead: an exact biorthogonality breakdown raises
+    {!Breakdown} (SyMPVL's cluster look-ahead is one of the paper's
+    refinements over this baseline). *)
+
+type t = {
+  t_mat : Linalg.Mat.t;  (** [n × n] projected operator. *)
+  d : Linalg.Mat.t;  (** [WᵀV] diagonal (as a matrix). *)
+  mu : Linalg.Mat.t;  (** [Wᵀ(K⁻¹B)], [n × p]. *)
+  eta : Linalg.Mat.t;  (** [VᵀB], [n × p]. *)
+  order : int;
+  p : int;
+  shift : float;
+  variable : Circuit.Mna.variable;
+  gain : Circuit.Mna.gain;
+  deflations : int;
+}
+
+exception Breakdown of int
+(** Exact biorthogonality breakdown at the reported step (would need
+    look-ahead). *)
+
+val reduce :
+  ?shift:float -> ?band:float * float -> ?dtol:float -> order:int ->
+  Circuit.Mna.t -> t
+(** Reduce to (at most) the requested order. Shift resolution follows
+    {!Reduce.mna}: explicit [shift] wins; otherwise 0 with band-guided
+    automatic retry when [G] is singular. *)
+
+val eval : t -> Complex.t -> Linalg.Cmat.t
+(** Evaluate [Zₙ] at a physical complex frequency (same conventions
+    as {!Model.eval}): [ηᵀ(D + σ·T·D)⁻¹... ] — concretely
+    [ηᵀ·(I + σT)⁻¹·D⁻¹·μ] with the variable/gain mapping applied. *)
+
+val poles : t -> Complex.t array
+(** Physical poles ([−1/λ(T)] mapped through shift/variable). *)

@@ -1,0 +1,152 @@
+type options = {
+  order : int;
+  shift : float option;
+  band : (float * float) option;
+  dtol : float;
+  ctol : float;
+  full_ortho : bool;
+  ordering : bool;
+}
+
+let default ~order =
+  {
+    order;
+    shift = None;
+    band = None;
+    dtol = 1e-8;
+    ctol = 1e-10;
+    full_ortho = true;
+    ordering = true;
+  }
+
+let band_shift (m : Circuit.Mna.t) (f_lo, f_hi) =
+  assert (f_lo > 0.0 && f_hi >= f_lo);
+  let w = 2.0 *. Float.pi *. sqrt (f_lo *. f_hi) in
+  match m.Circuit.Mna.variable with
+  | Circuit.Mna.S -> w
+  | Circuit.Mna.S_squared -> w *. w
+
+let log_src = Logs.Src.create "sympvl.reduce" ~doc:"SyMPVL driver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let auto_shift (m : Circuit.Mna.t) =
+  let diag_max a =
+    let worst = ref 0.0 in
+    for i = 0 to a.Sparse.Csr.rows - 1 do
+      worst := Float.max !worst (Float.abs (Sparse.Csr.get a i i))
+    done;
+    !worst
+  in
+  let g = diag_max m.Circuit.Mna.g and c = diag_max m.Circuit.Mna.c in
+  if c <= 0.0 then 1.0 else Float.max (g /. c) 1.0
+
+let run_with_factor (m : Circuit.Mna.t) opts shift fac =
+  let j = fac.Factor.j in
+  let c = m.Circuit.Mna.c in
+  let apply_jinv v =
+    (* J⁻¹ = J for J = diag(±1) *)
+    Linalg.Vec.init (Linalg.Vec.dim v) (fun i -> j.(i) *. v.(i))
+  in
+  let op v =
+    let w = fac.Factor.apply_mt_inv v in
+    let u = Sparse.Csr.mul_vec c w in
+    apply_jinv (fac.Factor.apply_m_inv u)
+  in
+  let p = m.Circuit.Mna.b.Linalg.Mat.cols in
+  let start = Linalg.Mat.create m.Circuit.Mna.n p in
+  for k = 0 to p - 1 do
+    Linalg.Mat.set_col start k
+      (apply_jinv (fac.Factor.apply_m_inv (Linalg.Mat.col m.Circuit.Mna.b k)))
+  done;
+  let res =
+    Band_lanczos.run ~dtol:opts.dtol ~ctol:opts.ctol ~full_ortho:opts.full_ortho
+      ~n_max:opts.order ~op ~j ~start ()
+  in
+  Log.info (fun f ->
+      f "SyMPVL: N=%d p=%d -> order %d (deflations %d, look-ahead %d, definite %b)"
+        m.Circuit.Mna.n p res.Band_lanczos.order
+        (List.length res.Band_lanczos.deflations)
+        res.Band_lanczos.look_ahead_steps fac.Factor.definite);
+  {
+    Model.t_mat = res.Band_lanczos.t_mat;
+    delta = res.Band_lanczos.delta;
+    rho = res.Band_lanczos.rho;
+    order = res.Band_lanczos.order;
+    p;
+    shift;
+    variable = m.Circuit.Mna.variable;
+    gain = m.Circuit.Mna.gain;
+    definite = fac.Factor.definite;
+    deflations = List.length res.Band_lanczos.deflations;
+    look_ahead_steps = res.Band_lanczos.look_ahead_steps;
+    exhausted = res.Band_lanczos.exhausted;
+  }
+
+let mna ?opts ~order (m : Circuit.Mna.t) =
+  let opts = match opts with Some o -> o | None -> default ~order in
+  match opts.shift with
+  | Some s0 ->
+    let fac =
+      Factor.with_shift ~ordering:opts.ordering m.Circuit.Mna.g m.Circuit.Mna.c s0
+    in
+    run_with_factor m opts s0 fac
+  | None -> (
+    match Factor.with_shift ~ordering:opts.ordering m.Circuit.Mna.g m.Circuit.Mna.c 0.0 with
+    | fac -> run_with_factor m opts 0.0 fac
+    | exception Factor.Singular _ ->
+      let s0 =
+        match opts.band with Some band -> band_shift m band | None -> auto_shift m
+      in
+      Log.info (fun f -> f "G singular; retrying with automatic shift s0 = %g" s0);
+      let fac =
+        Factor.with_shift ~ordering:opts.ordering m.Circuit.Mna.g m.Circuit.Mna.c s0
+      in
+      run_with_factor m opts s0 fac)
+
+let netlist ?opts ~order nl = mna ?opts ~order (Circuit.Mna.auto nl)
+
+let to_accuracy ?opts ?max_order ?(points = 25) ~tol ~band (m : Circuit.Mna.t) =
+  let p = m.Circuit.Mna.b.Linalg.Mat.cols in
+  let max_order =
+    match max_order with Some n -> n | None -> min m.Circuit.Mna.n 200
+  in
+  let f_lo, f_hi = band in
+  let freqs =
+    Array.init points (fun i ->
+        let t = float_of_int i /. float_of_int (points - 1) in
+        10.0 ** (log10 f_lo +. (t *. (log10 f_hi -. log10 f_lo))))
+  in
+  let eval_grid model =
+    Array.map (fun f -> Model.eval model (Linalg.Cx.im (2.0 *. Float.pi *. f))) freqs
+  in
+  let deviation za zb =
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun i a ->
+        let scale = Float.max (Linalg.Cmat.max_abs a) 1e-300 in
+        worst := Float.max !worst (Linalg.Cmat.dist_max a zb.(i) /. scale))
+      za;
+    !worst
+  in
+  let build order =
+    let base = match opts with Some o -> o | None -> default ~order in
+    let o = { base with order; band = Some band } in
+    mna ~opts:o ~order m
+  in
+  let rec grow order _prev prev_grid =
+    let order = min order max_order in
+    let model = build order in
+    let grid = eval_grid model in
+    let dev = deviation prev_grid grid in
+    if dev <= tol || order >= max_order || model.Model.exhausted then (model, dev)
+    else grow (order + max (2 * p) (order / 2)) model grid
+  in
+  let order0 = max (2 * p) 4 in
+  let model0 = build order0 in
+  grow (order0 + max (2 * p) (order0 / 2)) model0 (eval_grid model0)
+
+let scalar ?opts ~order ~port (m : Circuit.Mna.t) =
+  let b = Linalg.Mat.create m.Circuit.Mna.n 1 in
+  Linalg.Mat.set_col b 0 (Linalg.Mat.col m.Circuit.Mna.b port);
+  mna ?opts ~order { m with Circuit.Mna.b; port_names = [| m.Circuit.Mna.port_names.(port) |] }

@@ -1,0 +1,1 @@
+lib/linalg/cmat.ml: Array Complex Cx Eig_sym Float Format Mat

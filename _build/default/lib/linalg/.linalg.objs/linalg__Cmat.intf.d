@@ -1,0 +1,1 @@
+lib/linalg/cmat.mli: Cx Format Mat

@@ -1,0 +1,1 @@
+lib/linalg/cx.ml: Complex Float Format

@@ -1,0 +1,1 @@
+lib/linalg/cx.mli: Complex Format

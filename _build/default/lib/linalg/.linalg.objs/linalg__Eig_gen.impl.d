@@ -1,0 +1,1 @@
+lib/linalg/eig_gen.ml: Array Complex Float Mat

@@ -1,0 +1,1 @@
+lib/linalg/eig_sym.ml: Array Float Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/ldlt.ml: Array Float List Mat Vec

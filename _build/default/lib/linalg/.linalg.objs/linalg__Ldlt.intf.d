@@ -1,0 +1,1 @@
+lib/linalg/ldlt.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/lu.ml: Array Float Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/mat.mli: Format Rng Vec

@@ -1,0 +1,1 @@
+lib/linalg/poly.mli: Cx

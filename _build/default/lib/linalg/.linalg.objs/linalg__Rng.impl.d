@@ -1,0 +1,1 @@
+lib/linalg/rng.ml: Float Int64

@@ -1,0 +1,82 @@
+type t = { low : Mat.t }
+
+exception Not_positive_definite of int
+
+let factor ?(tol = 1e-13) m =
+  let open Mat in
+  assert (m.rows = m.cols);
+  let n = m.rows in
+  let low = create n n in
+  let dmax = ref 0.0 in
+  for i = 0 to n - 1 do
+    dmax := Float.max !dmax (Float.abs (get m i i))
+  done;
+  (* purely relative test: matrices of any physical scale (e.g.
+     femtofarad capacitance matrices) must factor *)
+  let breakdown = tol *. !dmax in
+  for j = 0 to n - 1 do
+    (* diagonal entry *)
+    let s = ref (get m j j) in
+    for k = 0 to j - 1 do
+      let ljk = get low j k in
+      s := !s -. (ljk *. ljk)
+    done;
+    if !s <= breakdown then raise (Not_positive_definite j);
+    let d = sqrt !s in
+    set low j j d;
+    for i = j + 1 to n - 1 do
+      let s = ref (get m i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (get low i k *. get low j k)
+      done;
+      set low i j (!s /. d)
+    done
+  done;
+  { low }
+
+let l t = t.low
+
+let solve_lower t b =
+  let open Mat in
+  let n = t.low.rows in
+  assert (Vec.dim b = n);
+  let y = Vec.copy b in
+  for i = 0 to n - 1 do
+    for k = 0 to i - 1 do
+      y.(i) <- y.(i) -. (get t.low i k *. y.(k))
+    done;
+    y.(i) <- y.(i) /. get t.low i i
+  done;
+  y
+
+let solve_lower_t t b =
+  let open Mat in
+  let n = t.low.rows in
+  assert (Vec.dim b = n);
+  let y = Vec.copy b in
+  for i = n - 1 downto 0 do
+    for k = i + 1 to n - 1 do
+      y.(i) <- y.(i) -. (get t.low k i *. y.(k))
+    done;
+    y.(i) <- y.(i) /. get t.low i i
+  done;
+  y
+
+let solve t b = solve_lower_t t (solve_lower t b)
+
+let solve_mat t b =
+  let x = Mat.create b.Mat.rows b.Mat.cols in
+  for j = 0 to b.Mat.cols - 1 do
+    Mat.set_col x j (solve t (Mat.col b j))
+  done;
+  x
+
+let inverse t = solve_mat t (Mat.identity t.low.Mat.rows)
+
+let det t =
+  let n = t.low.Mat.rows in
+  let d = ref 1.0 in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get t.low i i
+  done;
+  !d *. !d

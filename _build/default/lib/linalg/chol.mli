@@ -1,0 +1,30 @@
+(** Dense Cholesky factorisation [A = L·Lᵀ] of symmetric positive
+    definite matrices. *)
+
+type t
+
+exception Not_positive_definite of int
+(** Raised with the offending column when a pivot is ≤ 0 beyond
+    tolerance. *)
+
+val factor : ?tol:float -> Mat.t -> t
+(** Factor a symmetric positive definite matrix. Only the lower
+    triangle of the input is referenced. [tol] (default [1e-13])
+    scales the breakdown test relative to the largest diagonal. *)
+
+val l : t -> Mat.t
+(** The lower-triangular factor. *)
+
+val solve : t -> Vec.t -> Vec.t
+
+val solve_mat : t -> Mat.t -> Mat.t
+
+val inverse : t -> Mat.t
+
+val det : t -> float
+
+val solve_lower : t -> Vec.t -> Vec.t
+(** Solve [L y = b] only (forward substitution). *)
+
+val solve_lower_t : t -> Vec.t -> Vec.t
+(** Solve [Lᵀ y = b] only (back substitution). *)

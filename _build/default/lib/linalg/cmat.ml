@@ -1,0 +1,193 @@
+type t = { rows : int; cols : int; re : float array; im : float array }
+
+let create rows cols =
+  { rows; cols; re = Array.make (rows * cols) 0.0; im = Array.make (rows * cols) 0.0 }
+
+let get m i j =
+  let k = (i * m.cols) + j in
+  { Complex.re = m.re.(k); im = m.im.(k) }
+
+let set m i j z =
+  let k = (i * m.cols) + j in
+  m.re.(k) <- z.Complex.re;
+  m.im.(k) <- z.Complex.im
+
+let add_to m i j z =
+  let k = (i * m.cols) + j in
+  m.re.(k) <- m.re.(k) +. z.Complex.re;
+  m.im.(k) <- m.im.(k) +. z.Complex.im
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then Cx.one else Cx.zero)
+
+let of_real r = init r.Mat.rows r.Mat.cols (fun i j -> Cx.re (Mat.get r i j))
+
+let copy m = { m with re = Array.copy m.re; im = Array.copy m.im }
+
+let lincomb a ma b mb =
+  assert (ma.Mat.rows = mb.Mat.rows && ma.Mat.cols = mb.Mat.cols);
+  init ma.Mat.rows ma.Mat.cols (fun i j ->
+      Cx.(smul (Mat.get ma i j) a +: smul (Mat.get mb i j) b))
+
+let zip_with f x y =
+  assert (x.rows = y.rows && x.cols = y.cols);
+  init x.rows x.cols (fun i j -> f (get x i j) (get y i j))
+
+let add x y = zip_with Cx.( +: ) x y
+
+let sub x y = zip_with Cx.( -: ) x y
+
+let scale c m = init m.rows m.cols (fun i j -> Cx.(c *: get m i j))
+
+let mul x y =
+  assert (x.cols = y.rows);
+  let z = create x.rows y.cols in
+  for i = 0 to x.rows - 1 do
+    for k = 0 to x.cols - 1 do
+      let xik = get x i k in
+      if xik.Complex.re <> 0.0 || xik.Complex.im <> 0.0 then
+        for j = 0 to y.cols - 1 do
+          add_to z i j (Cx.(xik *: get y k j))
+        done
+    done
+  done;
+  z
+
+let mul_vec m x =
+  assert (m.cols = Array.length x);
+  Array.init m.rows (fun i ->
+      let s = ref Cx.zero in
+      for j = 0 to m.cols - 1 do
+        s := Cx.(!s +: (get m i j *: x.(j)))
+      done;
+      !s)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let dist_max x y =
+  assert (x.rows = y.rows && x.cols = y.cols);
+  let worst = ref 0.0 in
+  for i = 0 to x.rows - 1 do
+    for j = 0 to x.cols - 1 do
+      worst := Float.max !worst (Cx.abs Cx.(get x i j -: get y i j))
+    done
+  done;
+  !worst
+
+let max_abs m =
+  let worst = ref 0.0 in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      worst := Float.max !worst (Cx.abs (get m i j))
+    done
+  done;
+  !worst
+
+let hermitian_part m =
+  assert (m.rows = m.cols);
+  init m.rows m.cols (fun i j -> Cx.(smul 0.5 (get m i j +: conj (get m j i))))
+
+let min_eig_hermitian m =
+  assert (m.rows = m.cols);
+  let n = m.rows in
+  (* Hermitian H = A + iB (A symmetric, B skew); embed as the real
+     symmetric [[A, -B]; [B, A]] whose spectrum doubles H's. *)
+  let s =
+    Mat.init (2 * n) (2 * n) (fun i j ->
+        let bi = i mod n and bj = j mod n in
+        let z = get m bi bj in
+        match (i < n, j < n) with
+        | true, true -> z.Complex.re
+        | true, false -> -.z.Complex.im
+        | false, true -> z.Complex.im
+        | false, false -> z.Complex.re)
+  in
+  Eig_sym.min_eigenvalue s
+
+type lu = { lu_mat : t; piv : int array }
+
+exception Singular of int
+
+let lu_factor m0 =
+  assert (m0.rows = m0.cols);
+  let n = m0.rows in
+  let m = copy m0 in
+  let piv = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if Cx.abs (get m i k) > Cx.abs (get m !p k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let tkj = get m k j in
+        set m k j (get m !p j);
+        set m !p j tkj
+      done;
+      let t = piv.(k) in
+      piv.(k) <- piv.(!p);
+      piv.(!p) <- t
+    end;
+    let pivot = get m k k in
+    if Cx.abs pivot = 0.0 then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let lik = Cx.(get m i k /: pivot) in
+      set m i k lik;
+      if Cx.abs lik <> 0.0 then
+        for j = k + 1 to n - 1 do
+          add_to m i j (Cx.(neg (lik *: get m k j)))
+        done
+    done
+  done;
+  { lu_mat = m; piv }
+
+let lu_solve_vec f b =
+  let n = f.lu_mat.rows in
+  assert (Array.length b = n);
+  let x = Array.init n (fun i -> b.(f.piv.(i))) in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- Cx.(x.(i) -: (get f.lu_mat i j *: x.(j)))
+    done
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- Cx.(x.(i) -: (get f.lu_mat i j *: x.(j)))
+    done;
+    x.(i) <- Cx.(x.(i) /: get f.lu_mat i i)
+  done;
+  x
+
+let lu_solve_mat f b =
+  let x = create b.rows b.cols in
+  for j = 0 to b.cols - 1 do
+    let cj = Array.init b.rows (fun i -> get b i j) in
+    let xj = lu_solve_vec f cj in
+    for i = 0 to b.rows - 1 do
+      set x i j xj.(i)
+    done
+  done;
+  x
+
+let solve a b = lu_solve_mat (lu_factor a) b
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v 0>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<hov 1>[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf ";@ ";
+      Cx.pp ppf (get m i j)
+    done;
+    Format.fprintf ppf "]@]";
+    if i < m.rows - 1 then Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+type t = Complex.t
+
+let re x = { Complex.re = x; im = 0.0 }
+
+let im y = { Complex.re = 0.0; im = y }
+
+let make r i = { Complex.re = r; im = i }
+
+let zero = Complex.zero
+
+let one = Complex.one
+
+let ( +: ) = Complex.add
+
+let ( -: ) = Complex.sub
+
+let ( *: ) = Complex.mul
+
+let ( /: ) = Complex.div
+
+let smul a z = { Complex.re = a *. z.Complex.re; im = a *. z.Complex.im }
+
+let conj = Complex.conj
+
+let neg = Complex.neg
+
+let abs = Complex.norm
+
+let inv = Complex.inv
+
+let sqrt = Complex.sqrt
+
+let is_finite z = Float.is_finite z.Complex.re && Float.is_finite z.Complex.im
+
+let close ?(tol = 1e-9) a b = abs (Complex.sub a b) <= tol
+
+let pp ppf z = Format.fprintf ppf "(%.6g%+.6gi)" z.Complex.re z.Complex.im

@@ -1,0 +1,43 @@
+(** Complex scalar helpers on top of [Stdlib.Complex]. *)
+
+type t = Complex.t
+
+val re : float -> t
+(** Purely real. *)
+
+val im : float -> t
+(** Purely imaginary. *)
+
+val make : float -> float -> t
+
+val zero : t
+
+val one : t
+
+val ( +: ) : t -> t -> t
+
+val ( -: ) : t -> t -> t
+
+val ( *: ) : t -> t -> t
+
+val ( /: ) : t -> t -> t
+
+val smul : float -> t -> t
+(** Real scalar times complex. *)
+
+val conj : t -> t
+
+val neg : t -> t
+
+val abs : t -> float
+
+val inv : t -> t
+
+val sqrt : t -> t
+
+val is_finite : t -> bool
+
+val close : ?tol:float -> t -> t -> bool
+(** Absolute-difference comparison. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+(** Eigenvalues of a general (unsymmetric) real matrix.
+
+    Balancing, Hessenberg reduction by stabilised elementary
+    transformations, then the Francis double-shift QR iteration.
+    Eigenvalues only — sufficient for reduced-model pole analysis in
+    the general (indefinite-[J]) RLC case, where the projected pencil
+    is not symmetric. *)
+
+val eigenvalues : Mat.t -> Complex.t array
+(** Eigenvalues of a square matrix, unordered. Raises [Failure] if QR
+    exceeds 30 iterations for some eigenvalue (essentially never for
+    well-scaled input). *)

@@ -1,0 +1,28 @@
+(** Dense LU factorisation with partial pivoting, and derived solvers. *)
+
+type t
+(** A factored matrix [P·A = L·U]. *)
+
+exception Singular of int
+(** Raised (with the offending pivot column) when a pivot is exactly
+    zero — the matrix is singular to working precision. *)
+
+val factor : Mat.t -> t
+(** Factor a square matrix. Raises {!Singular} on exact breakdown. *)
+
+val solve_vec : t -> Vec.t -> Vec.t
+(** Solve [A x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Solve [A X = B] column-wise. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** One-shot [factor] + [solve_vec]. *)
+
+val det : t -> float
+
+val inverse : Mat.t -> Mat.t
+
+val rcond_estimate : t -> float
+(** Crude reciprocal-condition estimate: ratio of smallest to largest
+    magnitude of the U diagonal. Zero means numerically singular. *)

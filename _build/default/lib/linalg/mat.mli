@@ -1,0 +1,91 @@
+(** Dense real matrices, row-major.
+
+    The representation is transparent: [{ rows; cols; a }] with
+    element (i, j) stored at [a.(i * cols + j)]. *)
+
+type t = { rows : int; cols : int; a : float array }
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val diag : Vec.t -> t
+(** Square matrix with the given diagonal. *)
+
+val get_diag : t -> Vec.t
+
+val copy : t -> t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] accumulates [x] into entry (i, j). *)
+
+val of_arrays : float array array -> t
+
+val to_arrays : t -> float array array
+
+val of_cols : Vec.t list -> t
+(** Matrix whose columns are the given vectors (all the same length). *)
+
+val col : t -> int -> Vec.t
+
+val row : t -> int -> Vec.t
+
+val set_col : t -> int -> Vec.t -> unit
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+
+val mul_trans_vec : t -> Vec.t -> Vec.t
+(** [mul_trans_vec m x] is [mᵀ x] without forming the transpose. *)
+
+val gram : t -> t
+(** [gram m] is [mᵀ m]. *)
+
+val congruence : t -> t -> t
+(** [congruence v a] is [vᵀ a v] (a congruence transformation). *)
+
+val sym_part : t -> t
+(** [(m + mᵀ) / 2]. *)
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val frobenius : t -> float
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val max_abs : t -> float
+(** Largest entry magnitude. *)
+
+val dist_max : t -> t -> float
+(** Largest entrywise absolute difference. *)
+
+val submatrix : t -> int -> int -> int -> int -> t
+(** [submatrix m i j h w] is the [h×w] block at offset (i, j). *)
+
+val random : Rng.t -> int -> int -> t
+(** Entries uniform in [-1, 1). *)
+
+val random_spd : Rng.t -> int -> t
+(** Random symmetric positive definite matrix ([aᵀa + n·I] scaled). *)
+
+val random_symmetric : Rng.t -> int -> t
+
+val pp : Format.formatter -> t -> unit

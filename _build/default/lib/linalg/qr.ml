@@ -1,0 +1,132 @@
+type t = {
+  qr : Mat.t; (* Householder vectors below diagonal, R on/above *)
+  tau : float array;
+  m : int;
+  n : int;
+}
+
+(* Apply householder H = I - tau v vᵀ (v stored in column k below the
+   diagonal, with implicit v.(k) = 1) to vector x in place. *)
+let apply_house qr tau k x =
+  let open Mat in
+  let m = qr.rows in
+  let s = ref x.(k) in
+  for i = k + 1 to m - 1 do
+    s := !s +. (get qr i k *. x.(i))
+  done;
+  let s = tau *. !s in
+  x.(k) <- x.(k) -. s;
+  for i = k + 1 to m - 1 do
+    x.(i) <- x.(i) -. (s *. get qr i k)
+  done
+
+let factor a =
+  let open Mat in
+  let m = a.rows and n = a.cols in
+  assert (m >= n);
+  let qr = copy a in
+  let tau = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* build householder annihilating below-diagonal entries of col k *)
+    let nrm = ref 0.0 in
+    for i = k to m - 1 do
+      nrm := !nrm +. (get qr i k *. get qr i k)
+    done;
+    let nrm = sqrt !nrm in
+    if nrm > 0.0 then begin
+      let akk = get qr k k in
+      let alpha = if akk >= 0.0 then -.nrm else nrm in
+      let v0 = akk -. alpha in
+      tau.(k) <- -.v0 /. alpha;
+      (* normalise so v.(k) = 1 *)
+      for i = k + 1 to m - 1 do
+        set qr i k (get qr i k /. v0)
+      done;
+      set qr k k alpha;
+      (* update trailing columns *)
+      for j = k + 1 to n - 1 do
+        let s = ref (get qr k j) in
+        for i = k + 1 to m - 1 do
+          s := !s +. (get qr i k *. get qr i j)
+        done;
+        let s = tau.(k) *. !s in
+        set qr k j (get qr k j -. s);
+        for i = k + 1 to m - 1 do
+          add_to qr i j (-.s *. get qr i k)
+        done
+      done
+    end
+  done;
+  { qr; tau; m; n }
+
+let r t =
+  Mat.init t.n t.n (fun i j -> if j >= i then Mat.get t.qr i j else 0.0)
+
+let q_thin t =
+  let q = Mat.create t.m t.n in
+  for j = 0 to t.n - 1 do
+    let e = Vec.basis t.m j in
+    (* Q e_j = H_0 H_1 ... H_{n-1} e_j *)
+    for k = t.n - 1 downto 0 do
+      if t.tau.(k) <> 0.0 then apply_house t.qr t.tau.(k) k e
+    done;
+    Mat.set_col q j e
+  done;
+  q
+
+let solve_ls t b =
+  assert (Vec.dim b = t.m);
+  let y = Vec.copy b in
+  for k = 0 to t.n - 1 do
+    if t.tau.(k) <> 0.0 then apply_house t.qr t.tau.(k) k y
+  done;
+  let x = Vec.create t.n in
+  for i = t.n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to t.n - 1 do
+      s := !s -. (Mat.get t.qr i j *. x.(j))
+    done;
+    let d = Mat.get t.qr i i in
+    if d = 0.0 then invalid_arg "Qr.solve_ls: rank deficient";
+    x.(i) <- !s /. d
+  done;
+  x
+
+let rank ?(tol = 1e-12) t =
+  let dmax = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    dmax := Float.max !dmax (Float.abs (Mat.get t.qr i i))
+  done;
+  let cnt = ref 0 in
+  for i = 0 to t.n - 1 do
+    if Float.abs (Mat.get t.qr i i) > tol *. Float.max !dmax 1.0 then incr cnt
+  done;
+  !cnt
+
+let orthonormalize a =
+  let open Mat in
+  let m = a.rows and n = a.cols in
+  let kept = ref [] in
+  let nkept = ref 0 in
+  let tol = 1e-10 in
+  for j = 0 to n - 1 do
+    let v = col a j in
+    let nrm0 = Vec.norm2 v in
+    (* two passes of modified Gram–Schmidt for robustness *)
+    for _pass = 1 to 2 do
+      List.iter
+        (fun q ->
+          let c = Vec.dot q v in
+          Vec.axpy (-.c) q v)
+        !kept
+    done;
+    let nrm = Vec.norm2 v in
+    if nrm > tol *. Float.max nrm0 1e-300 && nrm > 0.0 then begin
+      Vec.scale_ip (1.0 /. nrm) v;
+      kept := !kept @ [ v ];
+      incr nkept
+    end
+  done;
+  let q = create m !nkept in
+  List.iteri (fun j v -> set_col q j v) !kept;
+  (q, !nkept)

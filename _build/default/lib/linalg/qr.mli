@@ -1,0 +1,25 @@
+(** Householder QR factorisation. *)
+
+type t
+
+val factor : Mat.t -> t
+(** Factor an [m×n] matrix with [m ≥ n]. *)
+
+val q_thin : t -> Mat.t
+(** The thin orthogonal factor ([m×n]). *)
+
+val r : t -> Mat.t
+(** The upper-triangular factor ([n×n]). *)
+
+val solve_ls : t -> Vec.t -> Vec.t
+(** Least-squares solve: minimise [‖A x − b‖₂]. Raises
+    [Invalid_argument] if [R] has a zero diagonal (rank deficient). *)
+
+val rank : ?tol:float -> t -> int
+(** Numerical rank from the [R] diagonal. *)
+
+val orthonormalize : Mat.t -> Mat.t * int
+(** [orthonormalize a] returns a matrix with orthonormal columns
+    spanning the numerically independent columns of [a] (by modified
+    Gram–Schmidt with reorthogonalisation), together with its column
+    count (the numerical rank). *)

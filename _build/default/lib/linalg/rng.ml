@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_state t =
+  t.state <- Int64.add t.state golden;
+  t.state
+
+(* splitmix64 output function *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t = mix (next_state t)
+
+let split t = { state = int64 t }
+
+let float t =
+  (* use the top 53 bits for a uniform double in [0,1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let log_uniform t lo hi =
+  assert (lo > 0.0 && hi > 0.0);
+  exp (uniform t (log lo) (log hi))
+
+let int t n =
+  assert (n > 0);
+  Int64.to_int (Int64.rem (Int64.logand (int64 t) Int64.max_int) (Int64.of_int n))
+
+let gaussian t =
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-300 then draw () else u
+  in
+  let u1 = draw () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)

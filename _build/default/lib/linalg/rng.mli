@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation.
+
+    A small splitmix64 generator used everywhere synthetic data is
+    needed (circuit generators, property tests, benches), so that
+    every experiment in the repository is reproducible bit-for-bit
+    from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split rng] derives an independent generator stream; [rng]
+    advances by one step. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform rng lo hi] is uniform in [lo, hi). *)
+
+val log_uniform : t -> float -> float -> float
+(** [log_uniform rng lo hi] is log-uniformly distributed in
+    [lo, hi); both bounds must be positive. *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform in [0, n); [n] must be positive. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)

@@ -1,0 +1,53 @@
+(** Dense real vectors as plain [float array]s.
+
+    All operations are written against unboxed float arrays; functions
+    ending in [_ip] mutate their first argument in place. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given length. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val of_list : float list -> t
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th canonical basis vector of length [n]. *)
+
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] sets [y <- y + a*x]. *)
+
+val scale_ip : float -> t -> unit
+
+val dot : t -> t -> float
+
+val dot3 : t -> t -> t -> float
+(** [dot3 x d y] is [Σ x.(i) * d.(i) * y.(i)] — a weighted (e.g. J-)
+    inner product with diagonal weight [d]. *)
+
+val norm2 : t -> float
+
+val norm_inf : t -> float
+
+val dist_inf : t -> t -> float
+
+val map : (float -> float) -> t -> t
+
+val max_abs_index : t -> int
+(** Index of the entry of largest magnitude. Raises [Invalid_argument]
+    on the empty vector. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/simulate/ac.ml: Array Circuit Float Linalg Sparse

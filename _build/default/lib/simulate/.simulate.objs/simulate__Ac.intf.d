@@ -1,0 +1,1 @@
+lib/simulate/ac.mli: Circuit Complex Linalg

@@ -1,0 +1,1 @@
+lib/simulate/netparams.ml: Linalg

@@ -1,0 +1,1 @@
+lib/simulate/netparams.mli: Linalg

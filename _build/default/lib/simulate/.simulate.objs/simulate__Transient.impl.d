@@ -1,0 +1,1 @@
+lib/simulate/transient.ml: Array Circuit Float Linalg List Sparse Sympvl

@@ -1,0 +1,1 @@
+lib/simulate/transient.mli: Circuit Sympvl

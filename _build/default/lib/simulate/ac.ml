@@ -1,0 +1,83 @@
+type sweep = {
+  freqs : float array;
+  z : Linalg.Cmat.t array;
+  port_names : string array;
+}
+
+(* reusable permuted workspace for repeated complex factorisations *)
+type workspace = {
+  perm : int array;
+  gp : Sparse.Csr.t;
+  cp : Sparse.Csr.t;
+  bp : Linalg.Mat.t;
+  n : int;
+  p : int;
+}
+
+let workspace (m : Circuit.Mna.t) =
+  let pattern = Sparse.Csr.add m.Circuit.Mna.g m.Circuit.Mna.c in
+  let perm = Sparse.Rcm.order pattern in
+  let gp = Sparse.Csr.permute_sym m.Circuit.Mna.g perm in
+  let cp = Sparse.Csr.permute_sym m.Circuit.Mna.c perm in
+  let n = m.Circuit.Mna.n in
+  let p = m.Circuit.Mna.b.Linalg.Mat.cols in
+  let bp =
+    Linalg.Mat.init n p (fun i j -> Linalg.Mat.get m.Circuit.Mna.b perm.(i) j)
+  in
+  { perm; gp; cp; bp; n; p }
+
+let z_at_ws (m : Circuit.Mna.t) ws s =
+  let var =
+    match m.Circuit.Mna.variable with
+    | Circuit.Mna.S -> s
+    | Circuit.Mna.S_squared -> Linalg.Cx.(s *: s)
+  in
+  let fac = Sparse.Skyline.factor_complex var ws.gp ws.cp in
+  let z = Linalg.Cmat.create ws.p ws.p in
+  for c = 0 to ws.p - 1 do
+    let b = Array.init ws.n (fun i -> Linalg.Cx.re (Linalg.Mat.get ws.bp i c)) in
+    let x = Sparse.Skyline.Complex_sym.solve fac b in
+    for r = 0 to ws.p - 1 do
+      let s_acc = ref Linalg.Cx.zero in
+      for i = 0 to ws.n - 1 do
+        let bi = Linalg.Mat.get ws.bp i r in
+        if bi <> 0.0 then s_acc := Linalg.Cx.(!s_acc +: smul bi x.(i))
+      done;
+      Linalg.Cmat.set z r c !s_acc
+    done
+  done;
+  match m.Circuit.Mna.gain with
+  | Circuit.Mna.Unit -> z
+  | Circuit.Mna.Times_s -> Linalg.Cmat.scale s z
+
+let z_at m s = z_at_ws m (workspace m) s
+
+let sweep (m : Circuit.Mna.t) freqs =
+  let ws = workspace m in
+  let z =
+    Array.map
+      (fun f -> z_at_ws m ws (Linalg.Cx.im (2.0 *. Float.pi *. f)))
+      freqs
+  in
+  { freqs; z; port_names = m.Circuit.Mna.port_names }
+
+let log_freqs ?(points = 200) f_lo f_hi =
+  assert (f_lo > 0.0 && f_hi > f_lo && points >= 2);
+  let lg_lo = log10 f_lo and lg_hi = log10 f_hi in
+  Array.init points (fun i ->
+      let t = float_of_int i /. float_of_int (points - 1) in
+      10.0 ** (lg_lo +. (t *. (lg_hi -. lg_lo))))
+
+let model_sweep eval freqs =
+  Array.map (fun f -> eval (Linalg.Cx.im (2.0 *. Float.pi *. f))) freqs
+
+let max_rel_error sw zs =
+  assert (Array.length zs = Array.length sw.z);
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i ze ->
+      let zr = zs.(i) in
+      let err = Linalg.Cmat.dist_max ze zr /. Float.max (Linalg.Cmat.max_abs ze) 1e-300 in
+      worst := Float.max !worst err)
+    sw.z;
+  !worst

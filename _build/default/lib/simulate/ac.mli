@@ -1,0 +1,33 @@
+(** Exact AC (frequency-domain) analysis.
+
+    Computes the multi-port transfer function [Z(s)] of an assembled
+    MNA pencil by direct complex-symmetric factorisation of
+    [(G + var·C)] at each frequency point — the "exact analysis"
+    reference curves of the paper's Figures 2–4. An RCM ordering is
+    computed once; each frequency point costs one skyline
+    factorisation plus [p] solves. *)
+
+type sweep = {
+  freqs : float array;  (** In Hz. *)
+  z : Linalg.Cmat.t array;  (** [Z(j2πf)], one [p×p] matrix per point. *)
+  port_names : string array;
+}
+
+val z_at : Circuit.Mna.t -> Complex.t -> Linalg.Cmat.t
+(** [z_at m s] evaluates the exact [Z(s)] at one physical complex
+    frequency (gain and variable conventions as in {!Sympvl.Model.eval}). *)
+
+val sweep : Circuit.Mna.t -> float array -> sweep
+(** [sweep m freqs] evaluates along the [jω] axis. *)
+
+val log_freqs : ?points:int -> float -> float -> float array
+(** [log_freqs f_lo f_hi] — logarithmically spaced frequency grid
+    (default 200 points). *)
+
+val model_sweep :
+  (Complex.t -> Linalg.Cmat.t) -> float array -> Linalg.Cmat.t array
+(** Sweep any evaluator (e.g. [Model.eval model]) on the same grid. *)
+
+val max_rel_error : sweep -> Linalg.Cmat.t array -> float
+(** Worst relative (max-norm) deviation over the sweep — the
+    figure-of-merit used in EXPERIMENTS.md. *)

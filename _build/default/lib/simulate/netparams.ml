@@ -1,0 +1,34 @@
+let z_to_y z = Linalg.Cmat.lu_solve_mat (Linalg.Cmat.lu_factor z) (Linalg.Cmat.identity z.Linalg.Cmat.rows)
+
+let y_to_z = z_to_y
+
+let z_to_s ?(z0 = 50.0) z =
+  let n = z.Linalg.Cmat.rows in
+  let z0i = Linalg.Cmat.scale (Linalg.Cx.re z0) (Linalg.Cmat.identity n) in
+  let num = Linalg.Cmat.sub z z0i in
+  let den = Linalg.Cmat.add z z0i in
+  (* S = num·den⁻¹ computed as (denᵀ⁻¹·numᵀ)ᵀ to reuse the solver *)
+  let x =
+    Linalg.Cmat.lu_solve_mat
+      (Linalg.Cmat.lu_factor (Linalg.Cmat.transpose den))
+      (Linalg.Cmat.transpose num)
+  in
+  Linalg.Cmat.transpose x
+
+let s_to_z ?(z0 = 50.0) s =
+  let n = s.Linalg.Cmat.rows in
+  let eye = Linalg.Cmat.identity n in
+  let num = Linalg.Cmat.add eye s in
+  let den = Linalg.Cmat.sub eye s in
+  let x = Linalg.Cmat.lu_solve_mat (Linalg.Cmat.lu_factor den) eye in
+  Linalg.Cmat.scale (Linalg.Cx.re z0) (Linalg.Cmat.mul num x)
+
+let is_passive_s ?(tol = 1e-9) s =
+  let n = s.Linalg.Cmat.rows in
+  (* I − SᴴS ⪰ 0 *)
+  let sh =
+    Linalg.Cmat.init n n (fun i j -> Linalg.Cx.conj (Linalg.Cmat.get s j i))
+  in
+  let shs = Linalg.Cmat.mul sh s in
+  let m = Linalg.Cmat.sub (Linalg.Cmat.identity n) shs in
+  Linalg.Cmat.min_eig_hermitian m >= -.tol

@@ -1,0 +1,24 @@
+(** Network-parameter conversions.
+
+    The reduction pipeline produces Z-parameters (the paper's natural
+    choice for current-driven ports). Downstream users of e.g. the
+    package model usually want Y- or S-parameters; these are the
+    standard algebraic conversions, applied pointwise to a swept or
+    model-evaluated [p×p] matrix. *)
+
+val z_to_y : Linalg.Cmat.t -> Linalg.Cmat.t
+(** [Y = Z⁻¹]. Raises [Linalg.Cmat.Singular] at a frequency where
+    [Z] is singular. *)
+
+val y_to_z : Linalg.Cmat.t -> Linalg.Cmat.t
+
+val z_to_s : ?z0:float -> Linalg.Cmat.t -> Linalg.Cmat.t
+(** [S = (Z − z0·I)(Z + z0·I)⁻¹] with reference impedance [z0]
+    (default 50 Ω). *)
+
+val s_to_z : ?z0:float -> Linalg.Cmat.t -> Linalg.Cmat.t
+(** [Z = z0·(I + S)(I − S)⁻¹]. *)
+
+val is_passive_s : ?tol:float -> Linalg.Cmat.t -> bool
+(** An S-parameter matrix is passive iff [I − SᴴS ⪰ 0] (unit-bounded
+    singular values). *)

@@ -1,0 +1,1 @@
+lib/sparse/csr.ml: Array Float Linalg Triplet

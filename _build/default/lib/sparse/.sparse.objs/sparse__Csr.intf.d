@@ -1,0 +1,1 @@
+lib/sparse/csr.mli: Linalg Triplet

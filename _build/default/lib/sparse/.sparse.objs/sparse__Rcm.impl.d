@@ -1,0 +1,1 @@
+lib/sparse/rcm.ml: Array Csr List

@@ -1,0 +1,1 @@
+lib/sparse/skyline.ml: Array Complex Csr Float

@@ -1,0 +1,1 @@
+lib/sparse/skyline.mli: Complex Csr

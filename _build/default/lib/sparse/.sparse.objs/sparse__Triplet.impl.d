@@ -1,0 +1,1 @@
+lib/sparse/triplet.ml: Array Linalg Printf

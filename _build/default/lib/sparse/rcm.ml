@@ -1,0 +1,88 @@
+let identity n = Array.init n (fun i -> i)
+
+(* adjacency lists of the symmetrised pattern, self-loops dropped *)
+let adjacency a =
+  let n = a.Csr.rows in
+  let sets = Array.make n [] in
+  for i = 0 to n - 1 do
+    Csr.iter_row a i (fun j _ ->
+        if i <> j then begin
+          sets.(i) <- j :: sets.(i);
+          sets.(j) <- i :: sets.(j)
+        end)
+  done;
+  Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) sets
+
+(* BFS from [root]; returns (order of visit, last level list) *)
+let bfs adj visited root =
+  let order = ref [ root ] in
+  visited.(root) <- true;
+  let frontier = ref [ root ] in
+  let last_level = ref [ root ] in
+  while !frontier <> [] do
+    let next = ref [] in
+    List.iter
+      (fun u ->
+        Array.iter
+          (fun v ->
+            if not visited.(v) then begin
+              visited.(v) <- true;
+              next := v :: !next
+            end)
+          adj.(u))
+      !frontier;
+    (* visit neighbours in increasing degree for the CM property *)
+    let next_sorted =
+      List.sort (fun a b -> compare (Array.length adj.(a)) (Array.length adj.(b))) !next
+    in
+    if next_sorted <> [] then begin
+      order := List.rev_append next_sorted !order;
+      last_level := next_sorted
+    end;
+    frontier := next_sorted
+  done;
+  (List.rev !order, !last_level)
+
+(* heuristic pseudo-peripheral node: start anywhere in the component,
+   repeatedly jump to a minimum-degree node of the last BFS level *)
+let pseudo_peripheral adj n_nodes start =
+  let node = ref start in
+  let improved = ref true in
+  let guard = ref 0 in
+  while !improved && !guard < 8 do
+    incr guard;
+    let visited = Array.make n_nodes false in
+    let _, last = bfs adj visited !node in
+    let best =
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | None -> Some v
+          | Some b -> if Array.length adj.(v) < Array.length adj.(b) then Some v else acc)
+        None last
+    in
+    match best with
+    | Some b when b <> !node ->
+      (* accept the jump only while eccentricity can grow; the guard
+         bounds the iteration in any case *)
+      node := b
+    | _ -> improved := false
+  done;
+  !node
+
+let order a =
+  let n = a.Csr.rows in
+  let adj = adjacency a in
+  let visited = Array.make n false in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    if not visited.(i) then begin
+      let root = pseudo_peripheral adj n i in
+      (* the pseudo-peripheral search used its own visited marks *)
+      let comp, _ = bfs adj visited root in
+      acc := List.rev_append comp !acc
+    end
+  done;
+  (* !acc is already the reversed concatenation: Cuthill–McKee order
+     reversed per component — exactly RCM *)
+  Array.of_list !acc

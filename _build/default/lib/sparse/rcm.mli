@@ -1,0 +1,15 @@
+(** Reverse Cuthill–McKee fill-reducing ordering.
+
+    Produces a permutation that clusters a sparse symmetric matrix
+    around its diagonal, shrinking the envelope that the skyline
+    factorisation fills in. *)
+
+val order : Csr.t -> int array
+(** [order a] returns [perm] such that [Csr.permute_sym a perm] has a
+    small profile; [perm.(new_index) = old_index]. The structure of
+    [a] is symmetrised internally, so slightly unsymmetric patterns
+    are accepted. Disconnected graphs are handled component by
+    component. *)
+
+val identity : int -> int array
+(** The identity permutation (ordering disabled). *)

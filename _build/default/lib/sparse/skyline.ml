@@ -1,0 +1,167 @@
+exception Singular of int
+
+module type FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val abs : t -> float
+end
+
+module type SOLVER = sig
+  type elt
+  type t
+
+  val factor :
+    ?pivot_tol:float -> n:int -> first:int array -> get:(int -> int -> elt) -> unit -> t
+
+  val dim : t -> int
+  val solve : t -> elt array -> elt array
+  val solve_lower : t -> elt array -> elt array
+  val solve_lower_t : t -> elt array -> elt array
+  val d : t -> elt array
+  val fill : t -> int
+end
+
+module Make (F : FIELD) = struct
+  type elt = F.t
+
+  type t = {
+    n : int;
+    first : int array; (* first envelope column of each row *)
+    rows : F.t array array; (* rows.(i) holds L(i, first.(i) .. i-1) *)
+    diag : F.t array; (* D *)
+  }
+
+  let dim t = t.n
+
+  let d t = Array.copy t.diag
+
+  let fill t = Array.fold_left (fun acc r -> acc + Array.length r) 0 t.rows
+
+  (* Row-wise envelope LDLᵀ:
+       L(i,j) = (A(i,j) - Σ_{k<j} L(i,k) D(k) L(j,k)) / D(j)
+       D(i)   = A(i,i) - Σ_{k<i} L(i,k)² D(k)
+     with k restricted to max(first.(i), first.(j)). *)
+  let factor ?(pivot_tol = 1e-14) ~n ~first ~get () =
+    let rows = Array.init n (fun i -> Array.make (i - first.(i)) F.zero) in
+    let diag = Array.make n F.zero in
+    let dmax = ref 0.0 in
+    for i = 0 to n - 1 do
+      dmax := Float.max !dmax (F.abs (get i i))
+    done;
+    (* relative to the diagonal scale so femto-scale matrices factor *)
+    let breakdown = pivot_tol *. !dmax in
+    for i = 0 to n - 1 do
+      let fi = first.(i) in
+      let ri = rows.(i) in
+      for j = fi to i - 1 do
+        let fj = first.(j) in
+        let k0 = max fi fj in
+        let s = ref (get i j) in
+        for k = k0 to j - 1 do
+          s := F.sub !s (F.mul (F.mul ri.(k - fi) diag.(k)) rows.(j).(k - fj))
+        done;
+        ri.(j - fi) <- F.div !s diag.(j)
+      done;
+      let s = ref (get i i) in
+      for k = fi to i - 1 do
+        let lik = ri.(k - fi) in
+        s := F.sub !s (F.mul (F.mul lik lik) diag.(k))
+      done;
+      if F.abs !s <= breakdown then raise (Singular i);
+      diag.(i) <- !s
+    done;
+    { n; first; rows; diag }
+
+  let solve_lower t b =
+    assert (Array.length b = t.n);
+    let y = Array.copy b in
+    for i = 0 to t.n - 1 do
+      let fi = t.first.(i) in
+      let ri = t.rows.(i) in
+      let s = ref y.(i) in
+      for k = fi to i - 1 do
+        s := F.sub !s (F.mul ri.(k - fi) y.(k))
+      done;
+      y.(i) <- !s
+    done;
+    y
+
+  let solve_lower_t t b =
+    assert (Array.length b = t.n);
+    let y = Array.copy b in
+    for i = t.n - 1 downto 0 do
+      let yi = y.(i) in
+      let fi = t.first.(i) in
+      let ri = t.rows.(i) in
+      for k = fi to i - 1 do
+        y.(k) <- F.sub y.(k) (F.mul ri.(k - fi) yi)
+      done
+    done;
+    y
+
+  let solve t b =
+    let y = solve_lower t b in
+    for i = 0 to t.n - 1 do
+      y.(i) <- F.div y.(i) t.diag.(i)
+    done;
+    solve_lower_t t y
+end
+
+module Real = Make (struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let abs = Float.abs
+end)
+
+module Complex_sym = Make (struct
+  type t = Complex.t
+
+  let zero = Complex.zero
+  let one = Complex.one
+  let add = Complex.add
+  let sub = Complex.sub
+  let mul = Complex.mul
+  let div = Complex.div
+  let abs = Complex.norm
+end)
+
+let envelope_of_csr a =
+  let n = a.Csr.rows in
+  let first = Array.init n (fun i -> i) in
+  for i = 0 to n - 1 do
+    Csr.iter_row a i (fun j _ ->
+        if j < first.(i) then first.(i) <- j;
+        (* symmetrise the pattern: an upper entry (i, j), j > i, puts
+           column i into row j's envelope *)
+        if j > i && i < first.(j) then first.(j) <- i)
+  done;
+  first
+
+let factor_real ?pivot_tol a =
+  assert (a.Csr.rows = a.Csr.cols);
+  let first = envelope_of_csr a in
+  Real.factor ?pivot_tol ~n:a.Csr.rows ~first ~get:(fun i j -> Csr.get a i j) ()
+
+let factor_complex ?pivot_tol s g c =
+  assert (g.Csr.rows = g.Csr.cols && c.Csr.rows = c.Csr.cols && g.Csr.rows = c.Csr.rows);
+  let fg = envelope_of_csr g and fc = envelope_of_csr c in
+  let n = g.Csr.rows in
+  let first = Array.init n (fun i -> min fg.(i) fc.(i)) in
+  let get i j =
+    Complex.add
+      { Complex.re = Csr.get g i j; im = 0.0 }
+      (Complex.mul s { Complex.re = Csr.get c i j; im = 0.0 })
+  in
+  Complex_sym.factor ?pivot_tol ~n ~first ~get ()

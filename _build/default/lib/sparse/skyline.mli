@@ -1,0 +1,78 @@
+(** Symmetric skyline (envelope) LDLᵀ factorisation.
+
+    Stores, for each row, the contiguous segment from the first
+    structurally nonzero column up to the diagonal. LDLᵀ fill-in is
+    confined to this envelope, so after an RCM pre-ordering the
+    factorisation of MNA matrices is cheap.
+
+    The factorisation is generic over the scalar field: {!Real} works
+    on [G(+s₀C)] (symmetric real, possibly indefinite — no pivoting
+    is performed, so genuinely ill-ordered saddle points may raise
+    [Singular]; apply a shift as the paper does), while {!Complex_sym}
+    factors the *complex symmetric* (not Hermitian) matrices
+    [(G + sC)] arising in AC analysis. *)
+
+exception Singular of int
+
+module type FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val abs : t -> float
+end
+
+module type SOLVER = sig
+  type elt
+  (** The scalar field. *)
+
+  type t
+  (** A factored matrix [A = L D Lᵀ] within the envelope. *)
+
+  val factor :
+    ?pivot_tol:float -> n:int -> first:int array -> get:(int -> int -> elt) -> unit -> t
+  (** [factor ~n ~first ~get ()] factors the symmetric matrix whose
+      lower-envelope rows span columns [first.(i) .. i]; [get i j]
+      yields entry (i, j) for [j ≤ i]. Raises {!Singular} when a
+      diagonal pivot falls below [pivot_tol] (relative, default
+      [1e-14]) times the largest diagonal magnitude. *)
+
+  val dim : t -> int
+
+  val solve : t -> elt array -> elt array
+  (** Solve [A x = b]. *)
+
+  val solve_lower : t -> elt array -> elt array
+  (** Forward substitution with the unit-lower factor [L] only. *)
+
+  val solve_lower_t : t -> elt array -> elt array
+  (** Back substitution with [Lᵀ] only. *)
+
+  val d : t -> elt array
+  (** The diagonal of [D]. *)
+
+  val fill : t -> int
+  (** Stored envelope size (profile), a cost measure. *)
+end
+
+module Make (F : FIELD) : SOLVER with type elt = F.t
+
+module Real : SOLVER with type elt = float
+
+module Complex_sym : SOLVER with type elt = Complex.t
+
+val envelope_of_csr : Csr.t -> int array
+(** First-nonzero-column array (clipped to the diagonal) of a
+    symmetric CSR matrix — the [first] argument for [factor]. *)
+
+val factor_real : ?pivot_tol:float -> Csr.t -> Real.t
+(** Convenience: envelope + factor of a symmetric real CSR matrix. *)
+
+val factor_complex :
+  ?pivot_tol:float -> Complex.t -> Csr.t -> Csr.t -> Complex_sym.t
+(** [factor_complex s g c] factors [G + sC] (complex symmetric). The
+    envelope is the union of both patterns. *)

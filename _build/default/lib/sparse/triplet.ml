@@ -1,0 +1,61 @@
+type t = {
+  rows : int;
+  cols : int;
+  mutable is : int array;
+  mutable js : int array;
+  mutable xs : float array;
+  mutable len : int;
+}
+
+let create rows cols =
+  { rows; cols; is = Array.make 16 0; js = Array.make 16 0; xs = Array.make 16 0.0; len = 0 }
+
+let rows t = t.rows
+
+let cols t = t.cols
+
+let nnz t = t.len
+
+let grow t =
+  let cap = Array.length t.is in
+  if t.len = cap then begin
+    let ncap = 2 * cap in
+    let is = Array.make ncap 0 and js = Array.make ncap 0 and xs = Array.make ncap 0.0 in
+    Array.blit t.is 0 is 0 t.len;
+    Array.blit t.js 0 js 0 t.len;
+    Array.blit t.xs 0 xs 0 t.len;
+    t.is <- is;
+    t.js <- js;
+    t.xs <- xs
+  end
+
+let add t i j x =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg
+      (Printf.sprintf "Triplet.add: (%d, %d) out of range for %d×%d" i j t.rows t.cols);
+  if x <> 0.0 then begin
+    grow t;
+    t.is.(t.len) <- i;
+    t.js.(t.len) <- j;
+    t.xs.(t.len) <- x;
+    t.len <- t.len + 1
+  end
+
+let add_sym t i j x =
+  add t i j x;
+  if i <> j then add t j i x
+
+let iter t f =
+  for k = 0 to t.len - 1 do
+    f t.is.(k) t.js.(k) t.xs.(k)
+  done
+
+let of_dense m =
+  let t = create m.Linalg.Mat.rows m.Linalg.Mat.cols in
+  for i = 0 to m.Linalg.Mat.rows - 1 do
+    for j = 0 to m.Linalg.Mat.cols - 1 do
+      let x = Linalg.Mat.get m i j in
+      if x <> 0.0 then add t i j x
+    done
+  done;
+  t

@@ -1,0 +1,28 @@
+(** Coordinate-format (COO) sparse-matrix builder.
+
+    The natural target of MNA stamping: entries may be added in any
+    order and duplicates accumulate. Convert to {!Csr.t} for
+    computation. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] — an empty builder. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val nnz : t -> int
+(** Number of raw (pre-merge) entries. *)
+
+val add : t -> int -> int -> float -> unit
+(** [add t i j x] accumulates [x] at (i, j). Zero additions are
+    dropped. Raises [Invalid_argument] on out-of-range indices. *)
+
+val add_sym : t -> int -> int -> float -> unit
+(** [add_sym t i j x] adds at (i, j) and, when [i ≠ j], at (j, i). *)
+
+val iter : t -> (int -> int -> float -> unit) -> unit
+
+val of_dense : Linalg.Mat.t -> t

@@ -1,0 +1,1 @@
+lib/synth/cauer.ml: Array Circuit Complex Float Linalg List Printf Sympvl

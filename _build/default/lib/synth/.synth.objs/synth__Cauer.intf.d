@@ -1,0 +1,1 @@
+lib/synth/cauer.mli: Circuit Sympvl

@@ -1,0 +1,1 @@
+lib/synth/foster.mli: Circuit Sympvl

@@ -1,0 +1,1 @@
+lib/synth/multiport.ml: Array Circuit Float Linalg List Printf Sympvl

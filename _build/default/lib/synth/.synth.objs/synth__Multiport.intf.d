@@ -1,0 +1,1 @@
+lib/synth/multiport.mli: Circuit Sympvl

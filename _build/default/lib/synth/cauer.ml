@@ -1,0 +1,172 @@
+type stats = {
+  resistors : int;
+  capacitors : int;
+  negative_elements : int;
+  truncated : bool;
+}
+
+exception Not_scalar_rc
+
+(* ascending-coefficient polynomial helpers over the scaled variable *)
+let poly_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  let c = Array.make (la + lb - 1) 0.0 in
+  for i = 0 to la - 1 do
+    for j = 0 to lb - 1 do
+      c.(i + j) <- c.(i + j) +. (a.(i) *. b.(j))
+    done
+  done;
+  c
+
+let poly_axpy alpha a c =
+  (* c <- c + alpha·a, resizing as needed *)
+  let lc = max (Array.length a) (Array.length c) in
+  let out = Array.make lc 0.0 in
+  Array.iteri (fun i x -> out.(i) <- x) c;
+  Array.iteri (fun i x -> out.(i) <- out.(i) +. (alpha *. x)) a;
+  out
+
+let poly_degree tol a =
+  let d = ref (Array.length a - 1) in
+  let scale = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 a in
+  while !d >= 0 && Float.abs a.(!d) <= tol *. Float.max scale 1e-300 do
+    decr d
+  done;
+  !d
+
+let synthesize ?(coef_tol = 1e-12) (model : Sympvl.Model.t) =
+  if
+    model.Sympvl.Model.p <> 1
+    || (not model.Sympvl.Model.definite)
+    || model.Sympvl.Model.variable <> Circuit.Mna.S
+    || model.Sympvl.Model.shift <> 0.0
+    || model.Sympvl.Model.gain <> Circuit.Mna.Unit
+  then raise Not_scalar_rc;
+  let pr = Sympvl.Postprocess.of_model model in
+  let direct = (Linalg.Cmat.get pr.Sympvl.Postprocess.direct 0 0).Complex.re in
+  let lambdas =
+    List.map (fun t -> t.Sympvl.Postprocess.lambda.Complex.re) pr.Sympvl.Postprocess.terms
+  in
+  let residues =
+    List.map
+      (fun t ->
+        (Linalg.Cx.(t.Sympvl.Postprocess.residue_l.(0) *: t.Sympvl.Postprocess.residue_r.(0)))
+          .Complex.re)
+      pr.Sympvl.Postprocess.terms
+  in
+  (* scale the variable by the geometric-mean time constant, which
+     balances the polynomial coefficients across the spread of time
+     constants (scaling by the extremes loses the small coefficients
+     to roundoff much sooner) *)
+  let tau =
+    match lambdas with
+    | [] -> 1.0
+    | ls ->
+      let log_sum = List.fold_left (fun acc l -> acc +. log (Float.abs l +. 1e-300)) 0.0 ls in
+      exp (log_sum /. float_of_int (List.length ls))
+  in
+  let lam_scaled = List.map (fun l -> l /. tau) lambdas in
+  (* den = Π (1 + s̃ λ̃ₖ); num = direct·den + Σ rₖ Π_{j≠k} (1 + s̃ λ̃ⱼ) *)
+  let den =
+    List.fold_left (fun acc l -> poly_mul acc [| 1.0; l |]) [| 1.0 |] lam_scaled
+  in
+  let num = ref (Array.map (fun x -> direct *. x) den) in
+  List.iteri
+    (fun k rk ->
+      let partial =
+        List.fold_left
+          (fun acc (j, l) -> if j = k then acc else poly_mul acc [| 1.0; l |])
+          [| 1.0 |]
+          (List.mapi (fun j l -> (j, l)) lam_scaled)
+      in
+      num := poly_axpy rk partial !num)
+    residues;
+  (* Cauer-I continued fraction (about s = ∞): alternately extract a
+     series resistance (degree-matched impedance division) and a shunt
+     capacitance (degree-offset admittance division) *)
+  let nl = Circuit.Netlist.create () in
+  let port = Circuit.Netlist.node nl "port" in
+  let top = ref port in
+  let r_count = ref 0 and c_count = ref 0 and neg = ref 0 in
+  let truncated = ref false in
+  let n_poly = ref !num and d_poly = ref den in
+  let view = ref `Z in
+  let last = ref `None in
+  let swaps_in_a_row = ref 0 in
+  let k = ref 0 in
+  let continue_ = ref true in
+  let invert () =
+    let tmp = !n_poly in
+    n_poly := !d_poly;
+    d_poly := tmp;
+    view := (match !view with `Z -> `Y | `Y -> `Z)
+  in
+  while !continue_ do
+    incr k;
+    let dn = poly_degree coef_tol !n_poly and dd = poly_degree coef_tol !d_poly in
+    if dn < 0 || dd < 0 then
+      (* a zero polynomial on either side: the previous extraction
+         was exact and the fraction terminates *)
+      continue_ := false
+    else begin
+      match !view with
+      | `Z when dn = dd ->
+        (* extract a series resistance (the impedance value at ∞) *)
+        swaps_in_a_row := 0;
+        let r = !n_poly.(dn) /. !d_poly.(dd) in
+        let nxt = Circuit.Netlist.fresh_node nl "cl" in
+        Circuit.Netlist.add nl
+          (Circuit.Netlist.Resistor
+             { name = Printf.sprintf "Rc%d" !k; n1 = !top; n2 = nxt; ohms = r });
+        incr r_count;
+        if r < 0.0 then incr neg;
+        top := nxt;
+        last := `R;
+        n_poly := poly_axpy (-.r) !d_poly !n_poly;
+        invert ()
+      | `Y when dn = dd + 1 ->
+        (* extract a shunt capacitance (admittance ≈ s̃C̃ at ∞) *)
+        swaps_in_a_row := 0;
+        let c_scaled = !n_poly.(dn) /. !d_poly.(dd) in
+        let c_phys = c_scaled *. tau in
+        Circuit.Netlist.add nl
+          (Circuit.Netlist.Capacitor
+             { name = Printf.sprintf "Cc%d" !k; n1 = !top; n2 = 0; farads = c_phys });
+        incr c_count;
+        if c_phys < 0.0 then incr neg;
+        last := `C;
+        let shifted = Array.append [| 0.0 |] !d_poly in
+        n_poly := poly_axpy (-.c_scaled) shifted !n_poly;
+        invert ()
+      | `Z | `Y ->
+        (* a zero element in the canonical pattern: flip views; two
+           flips without an extraction means the degrees collapsed *)
+        incr swaps_in_a_row;
+        if !swaps_in_a_row >= 2 then begin
+          truncated := true;
+          continue_ := false
+        end
+        else invert ()
+    end;
+    if !k > (4 * model.Sympvl.Model.order) + 8 then continue_ := false
+  done;
+  (* termination: a ladder ending after a series-R extraction ends in
+     a short (tiny resistor to ground); after a shunt-C it ends open *)
+  (match !last with
+  | `R when !top <> 0 ->
+    Circuit.Netlist.add nl
+      (Circuit.Netlist.Resistor { name = "Rcend"; n1 = !top; n2 = 0; ohms = 1e-9 });
+    incr r_count
+  | `R | `C -> ()
+  | `None ->
+    Circuit.Netlist.add nl
+      (Circuit.Netlist.Resistor { name = "Rcdc"; n1 = port; n2 = 0; ohms = 1e12 });
+    incr r_count);
+  Circuit.Netlist.add_port nl "port" port;
+  ( nl,
+    {
+      resistors = !r_count;
+      capacitors = !c_count;
+      negative_elements = !neg;
+      truncated = !truncated;
+    } )

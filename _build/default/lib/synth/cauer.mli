@@ -1,0 +1,30 @@
+(** Cauer (continued-fraction) RC synthesis for single ports.
+
+    The paper's Section 6 mentions realisations that "generalize
+    either the first or the second Cauer forms"; this module
+    implements the second Cauer form for the scalar RC case: the
+    reduced impedance is expanded as a continued fraction about
+    [s = 0],
+
+      [Z(s) = R₁ + 1/(sC₁ + 1/(R₂ + 1/(sC₂ + …)))],
+
+    realised as a series-R / shunt-C ladder. Complements
+    {!Foster.synthesize} (the two classical canonical one-port RC
+    forms). Element values may be negative, as the paper notes. *)
+
+type stats = {
+  resistors : int;
+  capacitors : int;
+  negative_elements : int;
+  truncated : bool;
+      (** The expansion hit a numerically zero coefficient before
+          exhausting the order (the remaining terms are negligible). *)
+}
+
+exception Not_scalar_rc
+
+val synthesize : ?coef_tol:float -> Sympvl.Model.t -> Circuit.Netlist.t * stats
+(** Build the Cauer-II ladder netlist; the single port is named
+    ["port"]. Requires a definite single-port [s]-variable model with
+    zero shift (as {!Foster.synthesize}). [coef_tol] (default
+    [1e-12]) stops the fraction when a coefficient ratio collapses. *)

@@ -1,0 +1,85 @@
+type stats = {
+  resistors : int;
+  capacitors : int;
+  negative_elements : int;
+  dropped_terms : int;
+}
+
+exception Not_scalar_rc
+
+let synthesize ?(drop_tol = 1e-12) (model : Sympvl.Model.t) =
+  if
+    model.Sympvl.Model.p <> 1
+    || (not model.Sympvl.Model.definite)
+    || model.Sympvl.Model.variable <> Circuit.Mna.S
+    || model.Sympvl.Model.shift <> 0.0
+    || model.Sympvl.Model.gain <> Circuit.Mna.Unit
+  then raise Not_scalar_rc;
+  let pr = Sympvl.Postprocess.of_model model in
+  let dropped = ref 0 in
+  let r_max =
+    List.fold_left
+      (fun acc term ->
+        let r =
+          (Linalg.Cx.(term.Sympvl.Postprocess.residue_l.(0)
+                      *: term.Sympvl.Postprocess.residue_r.(0))).Complex.re
+        in
+        Float.max acc (Float.abs r))
+      1e-300 pr.Sympvl.Postprocess.terms
+  in
+  (* collect the series sections: Some c for an R‖C pair, None for the
+     purely resistive direct term *)
+  let direct = (Linalg.Cmat.get pr.Sympvl.Postprocess.direct 0 0).Complex.re in
+  let sections = ref [] in
+  if Float.abs direct > drop_tol *. r_max then sections := [ (direct, None) ];
+  List.iter
+    (fun term ->
+      let r_term =
+        (Linalg.Cx.(term.Sympvl.Postprocess.residue_l.(0)
+                    *: term.Sympvl.Postprocess.residue_r.(0))).Complex.re
+      in
+      let lambda = term.Sympvl.Postprocess.lambda.Complex.re in
+      if Float.abs r_term <= drop_tol *. r_max then incr dropped
+      else sections := (r_term, Some (lambda /. r_term)) :: !sections)
+    pr.Sympvl.Postprocess.terms;
+  let sections = List.rev !sections in
+  let nl = Circuit.Netlist.create () in
+  let port = Circuit.Netlist.node nl "port" in
+  let r_count = ref 0 and c_count = ref 0 and neg = ref 0 in
+  let n_sections = List.length sections in
+  let top = ref port in
+  List.iteri
+    (fun idx (r, c_opt) ->
+      let bottom =
+        if idx = n_sections - 1 then 0 else Circuit.Netlist.fresh_node nl "f"
+      in
+      Circuit.Netlist.add nl
+        (Circuit.Netlist.Resistor
+           { name = Printf.sprintf "Rf%d" (idx + 1); n1 = !top; n2 = bottom; ohms = r });
+      incr r_count;
+      if r < 0.0 then incr neg;
+      (match c_opt with
+      | Some c ->
+        Circuit.Netlist.add nl
+          (Circuit.Netlist.Capacitor
+             { name = Printf.sprintf "Cf%d" (idx + 1); n1 = !top; n2 = bottom; farads = c });
+        incr c_count;
+        if c < 0.0 then incr neg
+      | None -> ());
+      top := bottom)
+    sections;
+  (* degenerate case: nothing kept — the port floats; tie it to ground
+     with the DC resistance so the netlist stays well-posed *)
+  if n_sections = 0 then begin
+    Circuit.Netlist.add nl
+      (Circuit.Netlist.Resistor { name = "Rdc"; n1 = port; n2 = 0; ohms = 1e12 });
+    incr r_count
+  end;
+  Circuit.Netlist.add_port nl "port" port;
+  ( nl,
+    {
+      resistors = !r_count;
+      capacitors = !c_count;
+      negative_elements = !neg;
+      dropped_terms = !dropped;
+    } )

@@ -1,0 +1,27 @@
+(** Scalar Foster-form RC synthesis (the p = 1, RC procedure of
+    ref. [8], paper Section 6).
+
+    A definite single-port reduced model has the pole/residue form
+
+      [Z(s) = r₀ + Σ_k r_k / (1 + s·λ_k)],   [λ_k > 0],
+
+    each term of which is one parallel R‖C pair with [R = r_k] and
+    [C = λ_k / r_k], connected in series (Foster-I). Negative
+    residues yield negative-valued elements, which is expected and
+    harmless for simulation (paper Section 6). *)
+
+type stats = {
+  resistors : int;
+  capacitors : int;
+  negative_elements : int;
+  dropped_terms : int;  (** Terms below the residue cutoff. *)
+}
+
+exception Not_scalar_rc
+(** The model is not a definite single-port [s]-variable model. *)
+
+val synthesize :
+  ?drop_tol:float -> Sympvl.Model.t -> Circuit.Netlist.t * stats
+(** Build the Foster netlist; the single port is named ["port"].
+    Terms whose residue magnitude is below [drop_tol] (default
+    [1e-12]) relative to the largest are dropped. *)

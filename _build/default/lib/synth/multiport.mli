@@ -1,0 +1,30 @@
+(** Multiport reduced-circuit synthesis (paper Section 6).
+
+    Realises the reduced pencil [(ĝ, ĉ, ρ)] of eq. (23) as an RC
+    netlist with no controlled sources. A congruence [x = S z] with
+    [ρᵀS = [I_p 0]] turns the first [p] states into the port voltages
+    themselves; the transformed [SᵀĝS] / [SᵀĉS] matrices are then
+    realised entry-by-entry as (possibly negative-valued) resistors
+    and capacitors between state nodes — a generalisation of the
+    Cauer-form synthesis that the paper refers to. Only definite
+    [s]-variable models are supported (the RC/RL cases with expansion
+    at 0). *)
+
+type stats = {
+  nodes : int;  (** Total circuit nodes (ports + internal). *)
+  resistors : int;
+  capacitors : int;
+  negative_elements : int;
+  dropped_entries : int;  (** Matrix entries below [drop_tol]. *)
+}
+
+exception Not_synthesizable of string
+
+val synthesize :
+  ?drop_tol:float -> port_names:string array -> Sympvl.Model.t ->
+  Circuit.Netlist.t * stats
+(** [synthesize ~port_names model] builds the equivalent netlist with
+    one port per model port (named as given). [drop_tol] (default
+    [1e-9], relative to the largest matrix entry) sparsifies the
+    realised conductance/capacitance matrices; the introduced error
+    is of the same relative order. *)

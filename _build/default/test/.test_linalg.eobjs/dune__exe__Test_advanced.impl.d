@@ -1,0 +1,1 @@
+test/test_advanced.ml: Alcotest Array Circuit Complex Float Linalg List Printf Simulate Sympvl

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Circuit Complex Float Linalg List Printf Sparse Sympvl

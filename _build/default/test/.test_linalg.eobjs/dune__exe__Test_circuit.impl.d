@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Complex Float Linalg List QCheck QCheck_alcotest Sparse String

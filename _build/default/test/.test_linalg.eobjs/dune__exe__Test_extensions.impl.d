@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Circuit Complex Float Linalg List Printf Simulate Sparse Sympvl Synth

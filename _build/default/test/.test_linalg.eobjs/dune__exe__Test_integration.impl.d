@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Circuit Filename Float Linalg List Printf QCheck QCheck_alcotest Simulate Sparse Sympvl Synth Sys

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex Float Fun Linalg List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Array Circuit Float Linalg List Printf Simulate Sparse Sympvl

@@ -1,0 +1,1 @@
+test/test_sympvl.ml: Alcotest Array Circuit Complex Float Linalg List Printf QCheck QCheck_alcotest Sparse Sympvl

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Circuit Float Linalg List Printf Simulate Sympvl Synth
