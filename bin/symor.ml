@@ -2,8 +2,11 @@
 
    Subcommands:
      info    print netlist statistics and topology class
+     lint    static analysis: netlist defect report with rule codes,
+             severities and source-line provenance
      reduce  run SyMPVL, report accuracy/stability, optionally
-             synthesize an equivalent reduced netlist
+             synthesize an equivalent reduced netlist; --check also
+             audits the numerical contracts (see Sympvl.Contract)
      ac      exact AC sweep as CSV
      tran    transient simulation as CSV *)
 
@@ -33,13 +36,19 @@ let load path = Circuit.Parser.parse_file path
 
 (* uniform CLI error reporting: user-level problems (bad netlists,
    unsupported element classes, singular matrices) print one line and
-   exit nonzero instead of dumping a backtrace *)
+   exit nonzero. Only the dedicated user-facing exception types are
+   caught — a bare Invalid_argument/Failure is a programming bug and
+   must surface with its backtrace, not be dressed up as a user
+   error. *)
 let safely f =
   try f () with
   | Circuit.Parser.Parse_error (line, msg) ->
     Printf.eprintf "symor: parse error at line %d: %s\n" line msg;
     exit 1
-  | Invalid_argument msg | Failure msg ->
+  | Circuit.Diagnostic.User_error msg ->
+    Printf.eprintf "symor: %s\n" msg;
+    exit 1
+  | Sys_error msg ->
     Printf.eprintf "symor: %s\n" msg;
     exit 1
   | Sympvl.Factor.Singular i ->
@@ -79,6 +88,50 @@ let info_cmd =
   let doc = "Print netlist statistics." in
   Cmd.v (Cmd.info "info" ~doc) Term.(const run $ netlist_arg)
 
+let print_diagnostics ?(quiet = false) ds =
+  List.iter
+    (fun d ->
+      if (not quiet) || d.Circuit.Diagnostic.severity <> Circuit.Diagnostic.Info then
+        Format.printf "%a@." Circuit.Diagnostic.pp d)
+    ds
+
+let lint_cmd =
+  let json_arg =
+    let doc = "Emit the findings as a JSON array (machine-readable)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let strict_arg =
+    let doc = "Treat warnings as errors for the exit code." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress info-level findings in the text output." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run path json strict quiet =
+   safely @@ fun () ->
+    let ds = Analysis.Lint.lint_file path in
+    if json then print_string (Circuit.Diagnostic.list_to_json ds ^ "\n")
+    else begin
+      Format.printf "%s:@." path;
+      print_diagnostics ~quiet ds;
+      let e = Circuit.Diagnostic.count Circuit.Diagnostic.Error ds in
+      let w = Circuit.Diagnostic.count Circuit.Diagnostic.Warning ds in
+      if e = 0 && w = 0 then Format.printf "clean (%d info)@."
+          (Circuit.Diagnostic.count Circuit.Diagnostic.Info ds)
+      else Format.printf "%d error(s), %d warning(s)@." e w
+    end;
+    exit (Circuit.Diagnostic.exit_code ~strict ds)
+  in
+  let doc =
+    "Statically analyse a netlist: floating nodes, bad ports, duplicate names, \
+     value and coupling defects, V/L loops and capacitor cutsets, MOR-class \
+     violations, and the structural RC/RL/LC/RLC classification. Exit code: 0 \
+     clean, 1 warnings only, 2 errors (or warnings under $(b,--strict))."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ netlist_arg $ json_arg $ strict_arg $ quiet_arg)
+
 let reduce_cmd =
   let synth_arg =
     let doc = "Write a synthesized reduced netlist to $(docv)." in
@@ -89,7 +142,12 @@ let reduce_cmd =
     Arg.(value & flag & info [ "poles" ] ~doc)
   in
   let check_arg =
-    let doc = "Check accuracy against exact AC analysis on the band." in
+    let doc =
+      "Audit the run: numerical contracts (G/C symmetry, Lanczos \
+       J-orthogonality, tolerance sanity, stability/passivity certificates; \
+       also enabled by $(b,SYMOR_CHECK=1)) plus accuracy against exact AC \
+       analysis on the band. Contract errors exit 2."
+    in
     Arg.(value & flag & info [ "check" ] ~doc)
   in
   let run verbose path order band synth_out poles check adaptive =
@@ -98,15 +156,24 @@ let reduce_cmd =
     let nl = load path in
     let mna = Circuit.Mna.auto nl in
     let opts = { (Sympvl.Reduce.default ~order) with Sympvl.Reduce.band } in
-    let model =
+    let contracts = check || Sympvl.Contract.enabled () in
+    let model, contract_diags =
       match adaptive with
-      | None -> Sympvl.Reduce.mna ~opts ~order mna
+      | None ->
+        if contracts then Sympvl.Reduce.checked ~opts ~order mna
+        else (Sympvl.Reduce.mna ~opts ~order mna, [])
       | Some tol ->
         let band = match band with Some b -> b | None -> (1e6, 1e10) in
         let model, dev = Sympvl.Reduce.to_accuracy ~opts ~max_order:order ~tol ~band mna in
         Format.printf "adaptive: converged at order %d (estimate %.2e)@."
           model.Sympvl.Model.order dev;
-        model
+        if contracts then
+          (* replay the converged configuration through the contract
+             checker: same order, shift pinned to the one the adaptive
+             loop settled on. *)
+          let opts = { opts with Sympvl.Reduce.shift = Some model.Sympvl.Model.shift } in
+          Sympvl.Reduce.checked ~opts ~order:model.Sympvl.Model.order mna
+        else (model, [])
     in
     Format.printf "SyMPVL: N = %d -> n = %d (p = %d)@." mna.Circuit.Mna.n
       model.Sympvl.Model.order model.Sympvl.Model.p;
@@ -125,6 +192,10 @@ let reduce_cmd =
         (fun p -> Format.printf "  %+.6e %+.6ei@." p.Complex.re p.Complex.im)
         (Sympvl.Model.poles model)
     end;
+    if contracts then begin
+      Format.printf "contracts:@.";
+      print_diagnostics contract_diags
+    end;
     (if check then
        let f_lo, f_hi = match band with Some b -> b | None -> (1e6, 1e10) in
        let freqs = Simulate.Ac.log_freqs ~points:40 f_lo f_hi in
@@ -132,6 +203,10 @@ let reduce_cmd =
        let zm = Simulate.Ac.model_sweep (Sympvl.Model.eval model) freqs in
        Format.printf "max relative error on [%g, %g] Hz: %.3e@." f_lo f_hi
          (Simulate.Ac.max_rel_error sw zm));
+    (if Circuit.Diagnostic.count Circuit.Diagnostic.Error contract_diags > 0 then begin
+       Format.printf "contract violation(s) detected@.";
+       exit 2
+     end);
     match synth_out with
     | None -> ()
     | Some out ->
@@ -270,8 +345,9 @@ let tran_cmd =
     Term.(const run $ netlist_arg $ dt_arg $ tstop_arg $ observe_arg)
 
 let () =
+  Printexc.record_backtrace true;
   let doc = "SyMPVL reduced-order modeling of linear passive multi-ports" in
   let main = Cmd.group (Cmd.info "symor" ~version:"1.0.0" ~doc)
-      [ info_cmd; reduce_cmd; ac_cmd; sparams_cmd; tran_cmd ]
+      [ info_cmd; lint_cmd; reduce_cmd; ac_cmd; sparams_cmd; tran_cmd ]
   in
   exit (Cmd.eval main)

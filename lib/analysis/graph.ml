@@ -1,0 +1,56 @@
+type uf = { parent : int array; rank : int array }
+
+let uf_create n = { parent = Array.init (n + 1) (fun i -> i); rank = Array.make (n + 1) 0 }
+
+let rec uf_find u i =
+  let p = u.parent.(i) in
+  if p = i then i
+  else begin
+    let r = uf_find u p in
+    u.parent.(i) <- r;
+    r
+  end
+
+let uf_union u a b =
+  let ra = uf_find u a and rb = uf_find u b in
+  if ra = rb then false
+  else begin
+    (if u.rank.(ra) < u.rank.(rb) then u.parent.(ra) <- rb
+     else if u.rank.(ra) > u.rank.(rb) then u.parent.(rb) <- ra
+     else begin
+       u.parent.(rb) <- ra;
+       u.rank.(ra) <- u.rank.(ra) + 1
+     end);
+    true
+  end
+
+let uf_same u a b = uf_find u a = uf_find u b
+
+type t = { n : int; adj : int list array; deg : int array }
+
+let create n = { n; adj = Array.make (n + 1) []; deg = Array.make (n + 1) 0 }
+
+let add_edge g a b =
+  g.adj.(a) <- b :: g.adj.(a);
+  g.adj.(b) <- a :: g.adj.(b);
+  g.deg.(a) <- g.deg.(a) + 1;
+  g.deg.(b) <- g.deg.(b) + 1
+
+let degree g i = g.deg.(i)
+
+let reachable_from g start =
+  let seen = Array.make (g.n + 1) false in
+  let q = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w q
+        end)
+      g.adj.(v)
+  done;
+  seen

@@ -1,0 +1,33 @@
+(** Small graph utilities over netlist nodes, used by the linter's
+    topological rules (connectivity, loops, cutsets).
+
+    Nodes are the MNA node indices: [0] is ground, [1 … n] the
+    non-ground nodes (see {!Circuit.Netlist.node}). *)
+
+type uf
+(** Union-find (disjoint sets) over nodes [0 … n]. *)
+
+val uf_create : int -> uf
+(** [uf_create n] — singletons for nodes [0 … n] inclusive. *)
+
+val uf_find : uf -> int -> int
+
+val uf_union : uf -> int -> int -> bool
+(** Merge the two classes; [false] when the nodes were already in the
+    same class (i.e. this edge closes a cycle). *)
+
+val uf_same : uf -> int -> int -> bool
+
+type t
+(** Undirected multigraph over nodes [0 … n]. *)
+
+val create : int -> t
+
+val add_edge : t -> int -> int -> unit
+
+val degree : t -> int -> int
+(** Number of edge endpoints incident to a node (self-loops count
+    twice). *)
+
+val reachable_from : t -> int -> bool array
+(** BFS component of a node; index [i] is [true] iff [i] is reachable. *)

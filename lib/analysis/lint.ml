@@ -1,0 +1,362 @@
+module D = Circuit.Diagnostic
+module N = Circuit.Netlist
+
+let rules =
+  [
+    ("NET000", D.Error, "netlist does not parse");
+    ("NET001", D.Error, "node has no R/L/C/V path to ground (floating island)");
+    ("NET002", D.Warning, "dangling node: single element terminal and not a port");
+    ("NET003", D.Error, "port on a node with no elements attached");
+    ("NET004", D.Error, "ground-shorted port (plus = minus)");
+    ("NET005", D.Error, "duplicate element name");
+    ("NET006", D.Error, "zero, NaN or infinite element value");
+    ("NET007", D.Warning, "negative R/L/C value: passivity theorem lost");
+    ("NET008", D.Error, "mutual coupling with |k| >= 1");
+    ("NET009", D.Error, "loop of ideal voltage sources");
+    ("NET010", D.Warning, "pure-inductor loop: G singular at the DC expansion point");
+    ("NET011", D.Warning, "capacitor cutset: no DC path to ground");
+    ("NET012", D.Warning, "element outside the symmetric MOR class");
+    ("NET013", D.Info, "structural RC/RL/LC/RLC classification proof");
+    ("NET014", D.Warning, "duplicate port name");
+    ("NET015", D.Error, "inductance matrix not positive definite");
+    ("NET016", D.Warning, "no ports declared");
+  ]
+
+let line_of = function Some { N.line } -> Some line | None -> None
+
+(* all terminals of an element (for attachment/degree counting) *)
+let terminals = function
+  | N.Resistor { n1; n2; _ }
+  | N.Capacitor { n1; n2; _ }
+  | N.Inductor { n1; n2; _ }
+  | N.Current_source { n1; n2; _ }
+  | N.Voltage_source { n1; n2; _ }
+  | N.Nonlinear_conductance { n1; n2; _ } ->
+    [ n1; n2 ]
+  | N.Mutual _ -> []
+  | N.Vccs { out_p; out_n; in_p; in_n; _ } -> [ out_p; out_n; in_p; in_n ]
+
+(* edges that produce nonzero G or C stamps (current sources do not
+   stamp into the pencil: a node fed only by a current source has an
+   identically zero row in G + sC) *)
+let stamp_edges = function
+  | N.Resistor { n1; n2; _ }
+  | N.Capacitor { n1; n2; _ }
+  | N.Inductor { n1; n2; _ }
+  | N.Voltage_source { n1; n2; _ }
+  | N.Nonlinear_conductance { n1; n2; _ } ->
+    [ (n1, n2) ]
+  | N.Current_source _ | N.Mutual _ -> []
+  | N.Vccs { out_p; out_n; in_p; in_n; _ } ->
+    (* VCCS stamps couple the output pair to the input pair; be
+       generous so controlled stages do not raise false NET001 *)
+    [ (out_p, out_n); (in_p, in_n); (out_p, in_p) ]
+
+(* edges that conduct at DC (an inductor is a DC short; a capacitor
+   blocks; an ideal current source has infinite impedance) *)
+let dc_edges = function
+  | N.Resistor { n1; n2; _ }
+  | N.Inductor { n1; n2; _ }
+  | N.Voltage_source { n1; n2; _ }
+  | N.Nonlinear_conductance { n1; n2; _ } ->
+    [ (n1, n2) ]
+  | N.Capacitor _ | N.Current_source _ | N.Mutual _ | N.Vccs _ -> []
+
+let waveform_finite =
+  let fin = Float.is_finite in
+  function
+  | Circuit.Waveform.Dc v -> fin v
+  | Circuit.Waveform.Pwl pts -> List.for_all (fun (t, v) -> fin t && fin v) pts
+  | Circuit.Waveform.Pulse { low; high; delay; rise; fall; width; period } ->
+    fin low && fin high && fin delay && fin rise && fin fall && fin width && fin period
+  | Circuit.Waveform.Sine { offset; amplitude; freq; delay } ->
+    fin offset && fin amplitude && fin freq && fin delay
+
+(* name up to [cap] nodes of a group, with an ellipsis for the rest *)
+let group_names nl cap vs =
+  let shown = List.filteri (fun i _ -> i < cap) vs in
+  let names = String.concat ", " (List.map (N.node_name nl) shown) in
+  let extra = List.length vs - List.length shown in
+  if extra > 0 then Printf.sprintf "%s, … (%d more)" names extra else names
+
+let run nl =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let els = N.elements_with_origin nl in
+  let ports = N.ports_with_origin nl in
+  let nn = N.num_nodes nl in
+  let attach = Graph.create nn in
+  let stamp = Graph.create nn in
+  let dcg = Graph.create nn in
+  let stamp_uf = Graph.uf_create nn in
+  let dc_uf = Graph.uf_create nn in
+  let l_uf = Graph.uf_create nn in
+  let v_uf = Graph.uf_create nn in
+  (* first source line of any element touching a node (for node-level
+     findings on parsed netlists) *)
+  let node_line = Array.make (nn + 1) None in
+  let seen_names : (string, int option) Hashtbl.t = Hashtbl.create 64 in
+  let k_out_of_range = ref false in
+  List.iter
+    (fun (e, o) ->
+      let ln = line_of o in
+      let name = N.element_name e in
+      (match Hashtbl.find_opt seen_names name with
+      | Some first ->
+        let where =
+          match first with
+          | Some l -> Printf.sprintf " (first defined at line %d)" l
+          | None -> ""
+        in
+        emit
+          (D.error ?line:ln "NET005"
+             (Printf.sprintf "duplicate element name %S%s" name where))
+      | None -> Hashtbl.add seen_names name ln);
+      List.iter
+        (fun v ->
+          if node_line.(v) = None then node_line.(v) <- ln;
+          Graph.add_edge attach v v)
+        (terminals e);
+      (* degree via self-loops would double-count; rebuild properly below *)
+      List.iter (fun (a, b) ->
+          Graph.add_edge stamp a b;
+          ignore (Graph.uf_union stamp_uf a b))
+        (stamp_edges e);
+      List.iter (fun (a, b) ->
+          Graph.add_edge dcg a b;
+          ignore (Graph.uf_union dc_uf a b))
+        (dc_edges e);
+      let bad_value what v =
+        if v = 0.0 || not (Float.is_finite v) then
+          emit
+            (D.error ?line:ln "NET006"
+               (Printf.sprintf "%s: %s %g is not finite and nonzero" name what v))
+        else if v < 0.0 then
+          emit
+            (D.warning ?line:ln "NET007"
+               (Printf.sprintf
+                  "%s: negative %s %g — PSD structure is lost and reduced models \
+                   are not guaranteed passive"
+                  name what v))
+      in
+      match e with
+      | N.Resistor { ohms; _ } -> bad_value "resistance" ohms
+      | N.Capacitor { farads; _ } -> bad_value "capacitance" farads
+      | N.Inductor { n1; n2; henries; _ } ->
+        bad_value "inductance" henries;
+        if not (Graph.uf_union l_uf n1 n2) then
+          emit
+            (D.warning ?line:ln "NET010"
+               (Printf.sprintf
+                  "%s closes a pure-inductor loop — G is singular at the DC \
+                   expansion point s0 = 0; reduction needs a frequency shift \
+                   (pass --band)"
+                  name))
+      | N.Mutual { k; _ } ->
+        if not (Float.is_finite k) then
+          emit
+            (D.error ?line:ln "NET006"
+               (Printf.sprintf "%s: coupling coefficient %g is not finite" name k))
+        else if Float.abs k >= 1.0 then begin
+          k_out_of_range := true;
+          emit
+            (D.error ?line:ln "NET008"
+               (Printf.sprintf
+                  "%s: |k| = %g >= 1 — the inductance matrix cannot be positive \
+                   definite (M = k·sqrt(L1·L2) overwhelms the self terms)"
+                  name (Float.abs k)))
+        end
+      | N.Current_source { wave; _ } ->
+        if not (waveform_finite wave) then
+          emit
+            (D.error ?line:ln "NET006"
+               (name ^ ": source waveform has non-finite values"))
+      | N.Voltage_source { n1; n2; wave; _ } ->
+        if not (waveform_finite wave) then
+          emit
+            (D.error ?line:ln "NET006"
+               (name ^ ": source waveform has non-finite values"));
+        if not (Graph.uf_union v_uf n1 n2) then
+          emit
+            (D.error ?line:ln "NET009"
+               (Printf.sprintf
+                  "%s closes a loop of ideal voltage sources — branch currents \
+                   are indeterminate (ill-posed MNA system)"
+                  name));
+        emit
+          (D.warning ?line:ln "NET012"
+             (Printf.sprintf
+                "%s: ideal voltage source — the symmetric MOR path accepts \
+                 current excitations only (reduce/ac refuse; tran supports it, \
+                 or model the drive as a Norton equivalent)"
+                name))
+      | N.Vccs { gm; _ } ->
+        if not (Float.is_finite gm) then
+          emit
+            (D.error ?line:ln "NET006"
+               (Printf.sprintf "%s: transconductance %g is not finite" name gm));
+        emit
+          (D.warning ?line:ln "NET012"
+             (name
+            ^ ": controlled source breaks G/C symmetry — only the transient \
+               simulator supports it"))
+      | N.Nonlinear_conductance _ ->
+        emit
+          (D.warning ?line:ln "NET012"
+             (name ^ ": nonlinear element — only the transient simulator supports it")))
+    els;
+  (* ---- port rules ------------------------------------------------ *)
+  let is_port_node = Array.make (nn + 1) false in
+  let seen_ports : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ({ N.port_name; plus; minus }, o) ->
+      let ln = line_of o in
+      is_port_node.(plus) <- true;
+      is_port_node.(minus) <- true;
+      if Hashtbl.mem seen_ports port_name then
+        emit
+          (D.warning ?line:ln "NET014"
+             (Printf.sprintf "duplicate port name %S" port_name))
+      else Hashtbl.add seen_ports port_name ();
+      if plus = minus then
+        emit
+          (D.error ?line:ln "NET004"
+             (Printf.sprintf
+                "port %S is ground-shorted (plus = minus = %s): its Z row and \
+                 column are identically zero"
+                port_name (N.node_name nl plus)))
+      else
+        List.iter
+          (fun v ->
+            if v <> 0 && Graph.degree attach v = 0 then
+              emit
+                (D.error ?line:ln "NET003"
+                   (Printf.sprintf
+                      "port %S references node %S with no elements attached — \
+                       injected current has no return path"
+                      port_name (N.node_name nl v))))
+          [ plus; minus ])
+    ports;
+  if ports = [] then
+    emit
+      (D.warning "NET016"
+         "no ports declared — reduce/ac/sparams need at least one .port");
+  (* ---- node rules ------------------------------------------------ *)
+  for v = 1 to nn do
+    (* attach records one self-loop per incident terminal, so the
+       terminal count is degree/2 *)
+    let d = Graph.degree attach v / 2 in
+    if d = 1 && not is_port_node.(v) then
+      emit
+        (D.warning ?line:node_line.(v) "NET002"
+           (Printf.sprintf "node %S is a dead end (a single element terminal)"
+              (N.node_name nl v)))
+  done;
+  let reach_stamp = Graph.reachable_from stamp 0 in
+  let reach_dc = Graph.reachable_from dcg 0 in
+  (* floating islands: group unreached nodes by stamp-graph component *)
+  let islands = Hashtbl.create 8 in
+  for v = nn downto 1 do
+    if not reach_stamp.(v) then begin
+      let r = Graph.uf_find stamp_uf v in
+      let prev = try Hashtbl.find islands r with Not_found -> [] in
+      Hashtbl.replace islands r (v :: prev)
+    end
+  done;
+  Hashtbl.iter
+    (fun _ vs ->
+      let ln = List.fold_left (fun acc v -> match acc with Some _ -> acc | None -> node_line.(v)) None vs in
+      emit
+        (D.error ?line:ln "NET001"
+           (Printf.sprintf
+              "node%s %s: no R/L/C/V path to ground — the corresponding rows of \
+               G + sC are structurally dependent (singular pencil)"
+              (if List.length vs > 1 then "s" else "")
+              (group_names nl 4 vs))))
+    islands;
+  (* capacitor cutsets: connected to ground in the full pencil but not
+     at DC *)
+  let cutsets = Hashtbl.create 8 in
+  for v = nn downto 1 do
+    if reach_stamp.(v) && not reach_dc.(v) then begin
+      let r = Graph.uf_find dc_uf v in
+      let prev = try Hashtbl.find cutsets r with Not_found -> [] in
+      Hashtbl.replace cutsets r (v :: prev)
+    end
+  done;
+  Hashtbl.iter
+    (fun _ vs ->
+      let ln = List.fold_left (fun acc v -> match acc with Some _ -> acc | None -> node_line.(v)) None vs in
+      emit
+        (D.warning ?line:ln "NET011"
+           (Printf.sprintf
+              "node%s %s: no DC path to ground (capacitor cutset) — G is \
+               singular at the DC expansion point s0 = 0; reduction retries \
+               with an automatic shift, or pass --band"
+              (if List.length vs > 1 then "s" else "")
+              (group_names nl 4 vs))))
+    cutsets;
+  (* ---- inductance-matrix definiteness ---------------------------- *)
+  let s = N.stats nl in
+  let ni = s.N.inductors_ in
+  if s.N.mutuals > 0 && ni <= 400 && not !k_out_of_range then begin
+    let lmat = Circuit.Mna.inductance_matrix nl in
+    let scale = Float.max (Linalg.Mat.max_abs lmat) 1e-300 in
+    let emin = Linalg.Eig_sym.min_eigenvalue lmat in
+    if emin < -1e-12 *. scale then
+      emit
+        (D.error "NET015"
+           (Printf.sprintf
+              "inductance matrix is not positive definite (min eigenvalue %.3g): \
+               the combined mutual couplings are unphysically strong"
+              emin))
+  end;
+  (* ---- classification proof -------------------------------------- *)
+  let pos = N.all_values_positive nl in
+  let linear = N.is_linear_rlc nl in
+  let cls_msg =
+    match N.classify nl with
+    | `General ->
+      "class: general (controlled/nonlinear elements) — outside the symmetric \
+       SyMPVL class; only the transient simulator applies"
+    | (`Rc | `Rl | `Lc | `Rlc) as c ->
+      let cname =
+        match c with `Rc -> "RC" | `Rl -> "RL" | `Lc -> "LC" | `Rlc -> "RLC"
+      in
+      let vsrc_note =
+        if linear then ""
+        else " [voltage sources present: reduce refuses, see NET012]"
+      in
+      if c = `Rlc then
+        "class: RLC — symmetric MNA pencil with J = diag(±1) possibly \
+         indefinite; stability is checked a posteriori on the poles, no \
+         structural passivity certificate" ^ vsrc_note
+      else if pos then
+        Printf.sprintf
+          "class: %s with positive elements — G and C are symmetric PSD, the \
+           Cholesky (J = I) fast path applies, and every reduced order is \
+           provably stable and passive (paper Sec. 5)%s"
+          cname vsrc_note
+      else
+        Printf.sprintf
+          "class: %s with negative element values — symmetric pencil, but PSD \
+           structure is lost: J may be indefinite and the passivity theorem \
+           does not apply%s"
+          cname vsrc_note
+  in
+  emit (D.info "NET013" cls_msg);
+  D.sort !diags
+
+let lint_string text =
+  match Circuit.Parser.parse_string text with
+  | nl -> run nl
+  | exception Circuit.Parser.Parse_error (line, msg) ->
+    [ D.error ?line:(if line > 0 then Some line else None) "NET000"
+        ("does not parse: " ^ msg) ]
+
+let lint_file path =
+  match Circuit.Parser.parse_file path with
+  | nl -> run nl
+  | exception Circuit.Parser.Parse_error (line, msg) ->
+    [ D.error ?line:(if line > 0 then Some line else None) "NET000"
+        ("does not parse: " ^ msg) ]

@@ -1,0 +1,51 @@
+(** Static analysis of netlists ([symor lint]).
+
+    SyMPVL's guarantees (provable stability/passivity of every reduced
+    order, paper Section 5) only hold when the MNA matrices satisfy
+    structural preconditions — [G = Gᵀ], [C = Cᵀ], PSD for RC/RL/LC —
+    and most user-visible failures ([Factor.Singular], garbage Padé
+    poles) trace back to netlist defects that are statically
+    detectable before any factorisation. The linter reports them as
+    severity-graded {!Circuit.Diagnostic.t} findings with source-line
+    provenance (see {!Circuit.Netlist.origin}).
+
+    Rule codes (see README "Diagnostics & linting" for the full
+    contract):
+
+    - [NET000] error — netlist does not parse
+    - [NET001] error — node has no R/L/C/V path to ground (floating;
+      [G + sC] is structurally singular)
+    - [NET002] warning — dangling node (single element terminal, not a
+      port)
+    - [NET003] error — port on a node with no elements attached
+    - [NET004] error — ground-shorted port ([plus = minus])
+    - [NET005] error — duplicate element name
+    - [NET006] error — zero / NaN / infinite element value
+    - [NET007] warning — negative R/L/C value (PSD structure and the
+      passivity theorem are lost)
+    - [NET008] error — mutual coupling with [|k| >= 1]
+    - [NET009] error — loop of ideal voltage sources
+    - [NET010] warning — pure-inductor loop ([G] singular at the DC
+      expansion point; pass [--band] / a shift)
+    - [NET011] warning — capacitor cutset: node(s) with no DC path to
+      ground ([G] singular at the DC expansion point)
+    - [NET012] warning — element outside the symmetric MOR class
+      (V source, VCCS, nonlinear): [reduce] will refuse
+    - [NET013] info — structural classification proof: RC/RL/LC/RLC
+      class, whether the Cholesky ([J = I]) fast path applies and
+      whether the stability/passivity theorem covers the reduction
+    - [NET014] warning — duplicate port name
+    - [NET015] error — inductance matrix [ℒ] not positive definite
+      (combined mutual couplings too strong)
+    - [NET016] warning — no ports declared ([reduce]/[ac] need one) *)
+
+val rules : (string * Circuit.Diagnostic.severity * string) list
+(** Rule table: code, default severity, one-line summary. *)
+
+val run : Circuit.Netlist.t -> Circuit.Diagnostic.t list
+(** All findings for a netlist, sorted errors-first then by line. *)
+
+val lint_string : string -> Circuit.Diagnostic.t list
+(** Parse then {!run}; a parse failure yields a single [NET000]. *)
+
+val lint_file : string -> Circuit.Diagnostic.t list

@@ -1,0 +1,98 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  line : int option;
+}
+
+exception User_error of string
+
+let user_errorf fmt = Printf.ksprintf (fun s -> raise (User_error s)) fmt
+
+let make ?line ~code ~severity message = { code; severity; message; line }
+
+let error ?line code message = { code; severity = Error; message; line }
+
+let warning ?line code message = { code; severity = Warning; message; line }
+
+let info ?line code message = { code; severity = Info; message; line }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let line = function Some l -> l | None -> max_int in
+    let c = Int.compare (line a.line) (line b.line) in
+    if c <> 0 then c else String.compare a.code b.code
+
+let sort ds = List.sort compare ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let worst ds =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.severity
+      | Some s ->
+        if severity_rank d.severity < severity_rank s then Some d.severity else acc)
+    None ds
+
+let exit_code ~strict ds =
+  match worst ds with
+  | Some Error -> 2
+  | Some Warning -> if strict then 2 else 1
+  | Some Info | None -> 0
+
+let pp ppf d =
+  match d.line with
+  | Some l ->
+    Format.fprintf ppf "%s %s (line %d): %s" (severity_to_string d.severity) d.code l
+      d.message
+  | None ->
+    Format.fprintf ppf "%s %s: %s" (severity_to_string d.severity) d.code d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf "{\"code\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\",\"line\":%s}"
+    (json_escape d.code)
+    (severity_to_string d.severity)
+    (json_escape d.message)
+    (match d.line with Some l -> string_of_int l | None -> "null")
+
+let list_to_json ds =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  ";
+      Buffer.add_string buf (to_json d))
+    ds;
+  if ds <> [] then Buffer.add_string buf "\n";
+  Buffer.add_string buf "]";
+  Buffer.contents buf

@@ -27,11 +27,39 @@ let stamp_pair tr n1 n2 v =
 
 let require_ports nl =
   if Netlist.port_count nl = 0 then
-    invalid_arg "Mna: netlist has no ports — declare at least one with add_port"
+    Diagnostic.user_errorf
+      "Mna: netlist has no ports — declare at least one with .port/add_port"
+
+(* name the first offending element, with its source line when the
+   netlist was parsed from a file *)
+let where_of = function
+  | Some { Netlist.line } -> Printf.sprintf " (line %d)" line
+  | None -> ""
 
 let require_linear nl =
-  if not (Netlist.is_linear_rlc nl) then
-    invalid_arg "Mna: controlled/nonlinear elements are not allowed in the MOR path"
+  if not (Netlist.is_linear_rlc nl) then begin
+    let offender =
+      List.find_opt
+        (fun (e, _) ->
+          match e with
+          | Netlist.Voltage_source _ | Netlist.Vccs _ | Netlist.Nonlinear_conductance _
+            ->
+            true
+          | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Inductor _
+          | Netlist.Mutual _ | Netlist.Current_source _ ->
+            false)
+        (Netlist.elements_with_origin nl)
+    in
+    match offender with
+    | Some (e, o) ->
+      Diagnostic.user_errorf
+        "Mna: %s%s is not admissible in the MOR path — only R/L/C/K elements and \
+         current excitations are (run `symor lint` for the full report)"
+        (Netlist.element_name e) (where_of o)
+    | None ->
+      Diagnostic.user_errorf
+        "Mna: controlled/nonlinear elements are not allowed in the MOR path"
+  end
 
 let port_matrix nl n =
   let ports = Netlist.ports nl in
@@ -187,8 +215,18 @@ let assemble_rc nl =
   require_linear nl;
   require_ports nl;
   let s = Netlist.stats nl in
-  if s.Netlist.inductors_ > 0 then
-    invalid_arg "Mna.assemble_rc: netlist contains inductors";
+  if s.Netlist.inductors_ > 0 then begin
+    let offender =
+      List.find_opt
+        (fun (e, _) -> match e with Netlist.Inductor _ -> true | _ -> false)
+        (Netlist.elements_with_origin nl)
+    in
+    match offender with
+    | Some (e, o) ->
+      Diagnostic.user_errorf "Mna.assemble_rc: netlist contains inductor %s%s"
+        (Netlist.element_name e) (where_of o)
+    | None -> Diagnostic.user_errorf "Mna.assemble_rc: netlist contains inductors"
+  end;
   let nn = Netlist.num_nodes nl in
   {
     n = nn;
@@ -207,7 +245,7 @@ let assemble_rl nl =
   require_ports nl;
   let s = Netlist.stats nl in
   if s.Netlist.capacitors > 0 then
-    invalid_arg "Mna.assemble_rl: netlist contains capacitors";
+    Diagnostic.user_errorf "Mna.assemble_rl: netlist contains capacitors";
   let nn = Netlist.num_nodes nl in
   {
     n = nn;
@@ -226,7 +264,7 @@ let assemble_lc nl =
   require_ports nl;
   let s = Netlist.stats nl in
   if s.Netlist.resistors > 0 then
-    invalid_arg "Mna.assemble_lc: netlist contains resistors";
+    Diagnostic.user_errorf "Mna.assemble_lc: netlist contains resistors";
   let nn = Netlist.num_nodes nl in
   {
     n = nn;
@@ -246,7 +284,10 @@ let auto nl =
   | `Rl -> assemble_rl nl
   | `Lc -> assemble_lc nl
   | `Rlc -> assemble nl
-  | `General -> invalid_arg "Mna.auto: nonlinear/controlled elements present"
+  | `General ->
+    Diagnostic.user_errorf
+      "Mna.auto: nonlinear/controlled elements present — run `symor lint` for \
+       the offending cards"
 
 let observe_inductor_current nl mna l_name =
   let idx = Netlist.find_inductor nl l_name in
@@ -254,7 +295,8 @@ let observe_inductor_current nl mna l_name =
   | S, Unit ->
     (* general form: inductor currents are trailing unknowns *)
     if mna.n = mna.n_nodes then
-      invalid_arg "Mna.observe_inductor_current: no inductor unknowns in this form";
+      Diagnostic.user_errorf
+        "Mna.observe_inductor_current: no inductor unknowns in this form";
     Linalg.Vec.basis mna.n (mna.n_nodes + idx)
   | S_squared, _ ->
     (* LC form: w = Aˡᵀ ℒ⁻¹ b (paper Section 7.1) *)
@@ -265,7 +307,8 @@ let observe_inductor_current nl mna l_name =
     let linv_b = Linalg.Chol.solve chol bsel in
     Linalg.Mat.mul_trans_vec al linv_b
   | S, Times_s ->
-    invalid_arg "Mna.observe_inductor_current: not available for the RL form"
+    Diagnostic.user_errorf
+      "Mna.observe_inductor_current: not available for the RL form"
 
 let append_output_column mna w name =
   assert (Linalg.Vec.dim w = mna.n);

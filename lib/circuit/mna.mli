@@ -39,7 +39,8 @@ val assemble : Netlist.t -> t
 (** General RLC form (eq. (3)): unknowns are node voltages followed by
     inductor currents; [G], [C] symmetric indefinite. Requires a
     linear RLC netlist with at least one port; raises
-    [Invalid_argument] otherwise. *)
+    {!Diagnostic.User_error} otherwise, naming the first offending
+    element with its source line when available. *)
 
 val assemble_rc : Netlist.t -> t
 (** RC form: [G = Aᵍᵀ𝒢Aᵍ], [C = Aᶜᵀ𝒞Aᶜ], both PSD. Rejects netlists
@@ -73,7 +74,7 @@ val observe_inductor_current : Netlist.t -> t -> string -> Linalg.Vec.t
       column the paper appends to [B] for the PEEC two-port output
       ([l] in Section 7.1).
 
-    Raises [Invalid_argument] for the RC/RL forms. *)
+    Raises {!Diagnostic.User_error} for the RC/RL forms. *)
 
 val append_output_column : t -> Linalg.Vec.t -> string -> t
 (** Widen [B] with an extra observation column (generalised port). *)

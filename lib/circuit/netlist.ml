@@ -25,12 +25,14 @@ type element =
 
 type port = { port_name : string; plus : node; minus : node }
 
+type origin = { line : int }
+
 type t = {
   names : (string, node) Hashtbl.t;
   mutable rev_names : string list; (* non-ground node names, newest first *)
   mutable next : node;
-  mutable rev_elements : element list;
-  mutable rev_ports : port list;
+  mutable rev_elements : (element * origin option) list;
+  mutable rev_ports : (port * origin option) list;
   mutable counter : int;
 }
 
@@ -76,10 +78,22 @@ let gen_name t prefix =
   t.counter <- t.counter + 1;
   Printf.sprintf "%s%d" prefix t.counter
 
+let element_name = function
+  | Resistor { name; _ }
+  | Capacitor { name; _ }
+  | Inductor { name; _ }
+  | Mutual { name; _ }
+  | Current_source { name; _ }
+  | Voltage_source { name; _ }
+  | Vccs { name; _ }
+  | Nonlinear_conductance { name; _ } ->
+    name
+
 let inductors t =
   List.rev
     (List.filter_map
-       (function
+       (fun (e, _) ->
+         match e with
          | Inductor { name; n1; n2; henries } -> Some (name, n1, n2, henries)
          | Resistor _ | Capacitor _ | Mutual _ | Current_source _ | Voltage_source _
          | Vccs _ | Nonlinear_conductance _ ->
@@ -93,10 +107,13 @@ let find_inductor t name =
   in
   go 0 (inductors t)
 
-(* The raw [add] accepts negative element values: reduced-circuit
-   synthesis legitimately produces them (paper Section 6). The named
-   wrappers below enforce positivity for hand-written circuits. *)
-let add t e =
+(* The raw [add] accepts negative element values (reduced-circuit
+   synthesis legitimately produces them, paper Section 6) and
+   out-of-range coupling coefficients (so files carrying them can be
+   parsed and then reported by the linter with line provenance). The
+   named wrappers below enforce positivity / |k| < 1 for hand-written
+   circuits. *)
+let add t ?origin e =
   (match e with
   | Resistor { name; n1; n2; ohms } ->
     check_node t n1 name;
@@ -114,7 +131,7 @@ let add t e =
     if henries = 0.0 || not (Float.is_finite henries) then
       invalid_arg (name ^ ": inductance must be finite and nonzero")
   | Mutual { name; l1; l2; k } ->
-    if Float.abs k >= 1.0 then invalid_arg (name ^ ": |k| must be < 1");
+    if not (Float.is_finite k) then invalid_arg (name ^ ": coupling must be finite");
     if String.equal l1 l2 then invalid_arg (name ^ ": self-coupling");
     (try
        ignore (find_inductor t l1);
@@ -131,7 +148,7 @@ let add t e =
   | Nonlinear_conductance { name; n1; n2; _ } ->
     check_node t n1 name;
     check_node t n2 name);
-  t.rev_elements <- e :: t.rev_elements
+  t.rev_elements <- (e, origin) :: t.rev_elements
 
 let add_resistor t ?name n1 n2 ohms =
   let name = match name with Some n -> n | None -> gen_name t "R" in
@@ -150,6 +167,7 @@ let add_inductor t ?name n1 n2 henries =
 
 let add_mutual t ?name l1 l2 k =
   let name = match name with Some n -> n | None -> gen_name t "K" in
+  if Float.abs k >= 1.0 then invalid_arg (name ^ ": |k| must be < 1");
   add t (Mutual { name; l1; l2; k })
 
 let add_current_source t ?name n1 n2 wave =
@@ -166,14 +184,26 @@ let add_thevenin_driver t ?name node r wave =
   add t (Voltage_source { name; n1 = internal; n2 = 0; wave });
   add_resistor t ~name:(name ^ "_rs") internal node r
 
-let add_port t port_name ?(minus = 0) plus =
+let add_port t ?origin port_name ?(minus = 0) plus =
   check_node t plus port_name;
   check_node t minus port_name;
-  t.rev_ports <- { port_name; plus; minus } :: t.rev_ports
+  t.rev_ports <- ({ port_name; plus; minus }, origin) :: t.rev_ports
 
-let elements t = List.rev t.rev_elements
+let elements t = List.rev_map fst t.rev_elements
 
-let ports t = List.rev t.rev_ports
+let elements_with_origin t = List.rev t.rev_elements
+
+let ports t = List.rev_map fst t.rev_ports
+
+let ports_with_origin t = List.rev t.rev_ports
+
+let origin_of t name =
+  let rec go = function
+    | [] -> None
+    | (e, o) :: rest -> if String.equal (element_name e) name then Some o else go rest
+  in
+  (* walk in insertion order so duplicates resolve to the first one *)
+  match go (List.rev t.rev_elements) with Some o -> o | None -> None
 
 let port_count t = List.length t.rev_ports
 
@@ -204,7 +234,7 @@ let stats t =
     }
   in
   List.fold_left
-    (fun s e ->
+    (fun s (e, _) ->
       match e with
       | Resistor _ -> { s with resistors = s.resistors + 1 }
       | Capacitor _ -> { s with capacitors = s.capacitors + 1 }
@@ -218,7 +248,8 @@ let stats t =
 
 let all_values_positive t =
   List.for_all
-    (function
+    (fun (e, _) ->
+      match e with
       | Resistor { ohms; _ } -> ohms > 0.0
       | Capacitor { farads; _ } -> farads > 0.0
       | Inductor { henries; _ } -> henries > 0.0
@@ -229,7 +260,8 @@ let all_values_positive t =
 
 let is_linear_rlc t =
   List.for_all
-    (function
+    (fun (e, _) ->
+      match e with
       | Resistor _ | Capacitor _ | Inductor _ | Mutual _ | Current_source _ -> true
       | Voltage_source _ | Vccs _ | Nonlinear_conductance _ -> false)
     t.rev_elements

@@ -43,6 +43,11 @@ type element =
 
 type port = { port_name : string; plus : node; minus : node }
 
+type origin = { line : int }
+(** Source provenance of an element or port: 1-based line number in
+    the netlist file it was parsed from. Programmatically built
+    netlists carry no origin. *)
+
 type t
 
 val create : unit -> t
@@ -58,10 +63,15 @@ val num_nodes : t -> int
 
 val node_name : t -> node -> string
 
-val add : t -> element -> unit
-(** Add an element. Raises [Invalid_argument] for non-positive R/L/C
-    values, out-of-range coupling coefficients, or duplicate inductor
-    names in [Mutual]. *)
+val add : t -> ?origin:origin -> element -> unit
+(** Add an element, optionally tagged with its source {!origin}.
+    Raises [Invalid_argument] for zero or non-finite R/L/C values,
+    unknown-node references, self-coupling, or [Mutual] references to
+    unknown inductors. Negative values and [|k| >= 1] couplings are
+    {e accepted} here — synthesized reduced circuits legitimately
+    carry negative elements (paper Section 6), and the linter
+    ({!module:Analysis.Lint} in the analysis library) reports both
+    with line provenance; the [add_*] wrappers below stay strict. *)
 
 val add_resistor : t -> ?name:string -> node -> node -> float -> unit
 
@@ -79,7 +89,7 @@ val add_thevenin_driver : t -> ?name:string -> node -> float -> Waveform.t -> un
 (** [add_thevenin_driver t node r wave] — a voltage source with
     series resistance [r] driving [node] (a gate-driver model). *)
 
-val add_port : t -> string -> ?minus:node -> node -> unit
+val add_port : t -> ?origin:origin -> string -> ?minus:node -> node -> unit
 (** Declare a terminal pair as a port (default [minus] is ground).
     Port order is declaration order — it fixes the row/column order of
     the transfer-function matrix [Z(s)]. *)
@@ -87,7 +97,17 @@ val add_port : t -> string -> ?minus:node -> node -> unit
 val elements : t -> element list
 (** In insertion order. *)
 
+val elements_with_origin : t -> (element * origin option) list
+(** In insertion order, with source provenance. *)
+
 val ports : t -> port list
+
+val ports_with_origin : t -> (port * origin option) list
+
+val element_name : element -> string
+
+val origin_of : t -> string -> origin option
+(** Source origin of the first element with the given name. *)
 
 val port_count : t -> int
 

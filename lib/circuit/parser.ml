@@ -223,6 +223,7 @@ let parse_string text =
     (fun (lineno, toks) ->
       begin
         let err msg = raise (Parse_error (lineno, msg)) in
+        let origin = { Netlist.line = lineno } in
         (* value-parse failures and netlist validation errors surface
            as parse errors with the offending line number *)
         try
@@ -233,9 +234,9 @@ let parse_string text =
           if lower = ".end" then ()
           else if lower = ".port" then begin
             match rest with
-            | [ name; plus ] -> Netlist.add_port nl name (Netlist.node nl plus)
+            | [ name; plus ] -> Netlist.add_port nl ~origin name (Netlist.node nl plus)
             | [ name; plus; minus ] ->
-              Netlist.add_port nl name
+              Netlist.add_port nl ~origin name
                 ~minus:(Netlist.node nl minus)
                 (Netlist.node nl plus)
             | _ -> err ".port needs: name node [node]"
@@ -247,7 +248,7 @@ let parse_string text =
                disk may carry negative-valued synthesized elements *)
             match (Char.lowercase_ascii head.[0], rest) with
             | 'r', [ n1; n2; v ] ->
-              Netlist.add nl
+              Netlist.add nl ~origin
                 (Netlist.Resistor
                    {
                      name = head;
@@ -256,7 +257,7 @@ let parse_string text =
                      ohms = value v;
                    })
             | 'c', [ n1; n2; v ] ->
-              Netlist.add nl
+              Netlist.add nl ~origin
                 (Netlist.Capacitor
                    {
                      name = head;
@@ -265,7 +266,7 @@ let parse_string text =
                      farads = value v;
                    })
             | 'l', [ n1; n2; v ] ->
-              Netlist.add nl
+              Netlist.add nl ~origin
                 (Netlist.Inductor
                    {
                      name = head;
@@ -273,17 +274,22 @@ let parse_string text =
                      n2 = Netlist.node nl n2;
                      henries = value v;
                    })
-            | 'k', [ l1; l2; kv ] -> Netlist.add_mutual nl ~name:head l1 l2 (value kv)
+            | 'k', [ l1; l2; kv ] ->
+              (* raw add: out-of-range k is parsed and left for lint *)
+              Netlist.add nl ~origin
+                (Netlist.Mutual { name = head; l1; l2; k = value kv })
             | 'i', n1 :: n2 :: spec ->
               let wave = parse_waveform lineno spec in
-              Netlist.add_current_source nl ~name:head (Netlist.node nl n1)
-                (Netlist.node nl n2) wave
+              Netlist.add nl ~origin
+                (Netlist.Current_source
+                   { name = head; n1 = Netlist.node nl n1; n2 = Netlist.node nl n2; wave })
             | 'v', n1 :: n2 :: spec ->
               let wave = parse_waveform lineno spec in
-              Netlist.add_voltage_source nl ~name:head (Netlist.node nl n1)
-                (Netlist.node nl n2) wave
+              Netlist.add nl ~origin
+                (Netlist.Voltage_source
+                   { name = head; n1 = Netlist.node nl n1; n2 = Netlist.node nl n2; wave })
             | 'g', [ op; on; ip; inn; gm ] ->
-              Netlist.add nl
+              Netlist.add nl ~origin
                 (Netlist.Vccs
                    {
                      name = head;

@@ -13,8 +13,7 @@ type result = {
 
 type cluster = {
   mutable members : int list; (* paper indices (1-based), ascending *)
-  mutable gram : Linalg.Mat.t option; (* Δ^(γ) once closed *)
-  mutable gram_lu : Linalg.Lu.t option;
+  mutable gram_lu : Linalg.Lu.t option; (* LU of Δ^(γ) once closed *)
 }
 
 type candidate = { vec : Linalg.Vec.t; norm0 : float }
@@ -52,7 +51,7 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
   let n_gamma = ref 0 in
   let new_cluster () =
     incr n_gamma;
-    let c = { members = []; gram = None; gram_lu = None } in
+    let c = { members = []; gram_lu = None } in
     clusters := Array.append !clusters [| c |]
   in
   new_cluster ();
@@ -152,7 +151,6 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
        in
        (match closeable with
        | Some lu ->
-         cg.gram <- Some gram;
          cg.gram_lu <- Some lu;
          (* 2c: J-orthogonalise the remaining candidates against the
             cluster just closed. Candidate at queue position q is

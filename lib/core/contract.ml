@@ -1,0 +1,152 @@
+module D = Circuit.Diagnostic
+
+let enabled () =
+  match Sys.getenv_opt "SYMOR_CHECK" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+let max_abs_values (a : Sparse.Csr.t) =
+  Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 a.Sparse.Csr.values
+
+let symmetry_residual a =
+  let d = Sparse.Csr.add ~alpha:1.0 ~beta:(-1.0) a (Sparse.Csr.transpose a) in
+  max_abs_values d /. Float.max (max_abs_values a) 1e-300
+
+let check_sym ~tol code name a =
+  let r = symmetry_residual a in
+  if r > tol then
+    D.error code
+      (Printf.sprintf
+         "%s is not symmetric: relative residual ‖%s − %sᵀ‖ = %.3e (tol %.1e) — \
+          the symmetric Lanczos recurrence is invalid on this pencil"
+         name name name r tol)
+  else
+    D.info code
+      (Printf.sprintf "%s symmetry residual %.3e (tol %.1e): ok" name r tol)
+
+let check_mna ?(tol = 1e-8) (m : Circuit.Mna.t) =
+  [
+    check_sym ~tol "NUM001" "G" m.Circuit.Mna.g;
+    check_sym ~tol "NUM002" "C" m.Circuit.Mna.c;
+  ]
+
+let check_lanczos ?(drift_tol = 1e-6) ~j ~dtol ~ctol (res : Band_lanczos.result) =
+  let v = res.Band_lanczos.vectors in
+  let n = res.Band_lanczos.order in
+  let big_n = v.Linalg.Mat.rows in
+  let jv =
+    Linalg.Mat.init big_n n (fun i k -> j.(i) *. Linalg.Mat.get v i k)
+  in
+  let vtjv = Linalg.Mat.mul (Linalg.Mat.transpose v) jv in
+  let scale = Float.max (Linalg.Mat.max_abs res.Band_lanczos.delta) 1e-300 in
+  let drift =
+    Linalg.Mat.max_abs (Linalg.Mat.sub vtjv res.Band_lanczos.delta) /. scale
+  in
+  let drift_diag =
+    if drift > drift_tol then
+      D.warning "NUM003"
+        (Printf.sprintf
+           "J-orthogonality drift ‖VᵀJV − Δ‖/‖Δ‖ = %.3e exceeds %.1e — the \
+           Lanczos basis has lost orthogonality (tighten dtol/ctol or enable \
+           full reorthogonalisation)"
+           drift drift_tol)
+    else
+      D.info "NUM003"
+        (Printf.sprintf "J-orthogonality drift %.3e (tol %.1e): ok" drift drift_tol)
+  in
+  let tol_diags =
+    (if dtol < ctol then
+       [
+         D.warning "NUM004"
+           (Printf.sprintf
+              "deflation tolerance dtol = %.1e is finer than the cluster-closing \
+               tolerance ctol = %.1e — candidates can be kept inside clusters \
+               that never close; use dtol >= ctol"
+              dtol ctol);
+       ]
+     else [])
+    @
+    if dtol < 100.0 *. epsilon_float then
+      [
+        D.warning "NUM004"
+          (Printf.sprintf
+             "deflation tolerance dtol = %.1e is at machine-precision level — \
+              exact deflations will be missed and the basis will degenerate"
+             dtol);
+      ]
+    else []
+  in
+  let defl =
+    match res.Band_lanczos.deflations with
+    | [] ->
+      D.info "NUM004"
+        (Printf.sprintf "no deflations (dtol %.1e, ctol %.1e): block size held" dtol
+           ctol)
+    | ds ->
+      let shown = List.filteri (fun i _ -> i < 8) ds in
+      D.info "NUM004"
+        (Printf.sprintf "%d deflation(s) at iteration(s) %s%s (dtol %.1e)"
+           (List.length ds)
+           (String.concat ", " (List.map string_of_int shown))
+           (if List.length ds > 8 then ", …" else "")
+           dtol)
+  in
+  let exhausted =
+    if res.Band_lanczos.exhausted then
+      [
+        D.info "NUM004"
+          "Krylov space exhausted: the reduced model matches the original \
+           transfer function exactly";
+      ]
+    else []
+  in
+  (drift_diag :: tol_diags) @ (defl :: exhausted)
+
+let check_model (model : Model.t) =
+  let stable = Stability.is_stable model in
+  let max_re = Stability.max_pole_re model in
+  let stab =
+    if stable then
+      D.info "NUM005"
+        (Printf.sprintf
+           "stability certificate: all %d poles in the closed left half-plane \
+            (max Re = %.3e)"
+           (Array.length (Model.poles model))
+           max_re)
+    else if model.Model.definite && model.Model.shift = 0.0 then
+      D.error "NUM005"
+        (Printf.sprintf
+           "unstable pole (Re = %.3e) on the definite unshifted path — the \
+            structural stability theorem is violated, which indicates a \
+            numerical breakdown in the factorisation or recurrence"
+           max_re)
+    else
+      D.warning "NUM005"
+        (Printf.sprintf
+           "unstable pole(s), max Re = %.3e (indefinite or shifted expansion: \
+            no structural guarantee) — consider post-processing or a different \
+            shift"
+           max_re)
+  in
+  let pasv =
+    match Stability.passivity_certificate model with
+    | Stability.Certified ->
+      D.info "NUM006"
+        "passivity certificate: T is symmetric PSD on the J = I path — every \
+         truncation is passive"
+    | Stability.Indefinite_t x ->
+      D.warning "NUM006"
+        (Printf.sprintf
+           "passivity certificate failed: T has a negative eigenvalue (%.3e) on \
+            the definite path"
+           x)
+    | Stability.Not_applicable ->
+      D.info "NUM006"
+        "passivity: no structural certificate (indefinite J or shifted \
+         expansion); use sampled passivity checks if required"
+  in
+  [ stab; pasv ]
+
+let check_reduction ~mna ~j ~lanczos ~dtol ~ctol ~model =
+  D.sort
+    (check_mna mna @ check_lanczos ~j ~dtol ~ctol lanczos @ check_model model)

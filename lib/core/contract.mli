@@ -1,0 +1,58 @@
+(** Numerical contract checker for the reduction pipeline.
+
+    The linter ([Analysis.Lint]) proves structural preconditions
+    statically; this module verifies the {e numerical} contracts the
+    algorithm relies on, after the matrices and Krylov quantities
+    exist, and reports through the same {!Circuit.Diagnostic.t}
+    findings pipeline:
+
+    - [NUM001]/[NUM002] — symmetry residual of the assembled [G]/[C]
+      (error above [tol]; the whole symmetric Lanczos machinery is
+      built on [G = Gᵀ], [C = Cᵀ])
+    - [NUM003] — J-orthogonality drift of the band-Lanczos vectors,
+      [‖VᵀJV − Δ‖ / ‖Δ‖] (warning above [drift_tol]; large drift means
+      the look-ahead/deflation thresholds were too loose for this
+      conditioning)
+    - [NUM004] — deflation-tolerance consistency: [dtol] against the
+      cluster-closing tolerance [ctol] and machine precision, plus a
+      record of the deflations that occurred
+    - [NUM005] — eigenvalue-based stability certificate of [Tₙ]
+      (error when the definite unshifted path — which is provably
+      stable — still produced an unstable pole; warning otherwise)
+    - [NUM006] — passivity certificate of [Tₙ] (info when certified or
+      structurally inapplicable, warning when [T] is indefinite)
+
+    Enable from the CLI with [symor reduce --check] or by setting
+    [SYMOR_CHECK=1] in the environment. *)
+
+val enabled : unit -> bool
+(** True when the [SYMOR_CHECK] environment variable is set to [1],
+    [true], [yes] or [on]. *)
+
+val check_mna : ?tol:float -> Circuit.Mna.t -> Circuit.Diagnostic.t list
+(** Symmetry residuals of [G] and [C] ([NUM001]/[NUM002]); [tol]
+    (default [1e-8]) is relative to the largest entry. *)
+
+val check_lanczos :
+  ?drift_tol:float ->
+  j:float array ->
+  dtol:float ->
+  ctol:float ->
+  Band_lanczos.result ->
+  Circuit.Diagnostic.t list
+(** J-orthogonality drift and tolerance consistency
+    ([NUM003]/[NUM004]); [drift_tol] defaults to [1e-6]. *)
+
+val check_model : Model.t -> Circuit.Diagnostic.t list
+(** Stability and passivity certificates of [Tₙ]
+    ([NUM005]/[NUM006]). *)
+
+val check_reduction :
+  mna:Circuit.Mna.t ->
+  j:float array ->
+  lanczos:Band_lanczos.result ->
+  dtol:float ->
+  ctol:float ->
+  model:Model.t ->
+  Circuit.Diagnostic.t list
+(** The full contract suite, sorted errors-first. *)

@@ -68,22 +68,27 @@ let run_with_factor (m : Circuit.Mna.t) opts shift fac =
         m.Circuit.Mna.n p res.Band_lanczos.order
         (List.length res.Band_lanczos.deflations)
         res.Band_lanczos.look_ahead_steps fac.Factor.definite);
-  {
-    Model.t_mat = res.Band_lanczos.t_mat;
-    delta = res.Band_lanczos.delta;
-    rho = res.Band_lanczos.rho;
-    order = res.Band_lanczos.order;
-    p;
-    shift;
-    variable = m.Circuit.Mna.variable;
-    gain = m.Circuit.Mna.gain;
-    definite = fac.Factor.definite;
-    deflations = List.length res.Band_lanczos.deflations;
-    look_ahead_steps = res.Band_lanczos.look_ahead_steps;
-    exhausted = res.Band_lanczos.exhausted;
-  }
+  let model =
+    {
+      Model.t_mat = res.Band_lanczos.t_mat;
+      delta = res.Band_lanczos.delta;
+      rho = res.Band_lanczos.rho;
+      order = res.Band_lanczos.order;
+      p;
+      shift;
+      variable = m.Circuit.Mna.variable;
+      gain = m.Circuit.Mna.gain;
+      definite = fac.Factor.definite;
+      deflations = List.length res.Band_lanczos.deflations;
+      look_ahead_steps = res.Band_lanczos.look_ahead_steps;
+      exhausted = res.Band_lanczos.exhausted;
+    }
+  in
+  (model, fac, res)
 
-let mna ?opts ~order (m : Circuit.Mna.t) =
+(* the full pipeline, also exposing the factorisation and the raw
+   Lanczos result so the contract checker can audit them *)
+let mna_internal ?opts ~order (m : Circuit.Mna.t) =
   let opts = match opts with Some o -> o | None -> default ~order in
   match opts.shift with
   | Some s0 ->
@@ -103,6 +108,19 @@ let mna ?opts ~order (m : Circuit.Mna.t) =
         Factor.with_shift ~ordering:opts.ordering m.Circuit.Mna.g m.Circuit.Mna.c s0
       in
       run_with_factor m opts s0 fac)
+
+let mna ?opts ~order (m : Circuit.Mna.t) =
+  let model, _, _ = mna_internal ?opts ~order m in
+  model
+
+let checked ?opts ~order (m : Circuit.Mna.t) =
+  let opts = match opts with Some o -> o | None -> default ~order in
+  let model, fac, res = mna_internal ~opts ~order m in
+  let diags =
+    Contract.check_reduction ~mna:m ~j:fac.Factor.j ~lanczos:res ~dtol:opts.dtol
+      ~ctol:opts.ctol ~model
+  in
+  (model, diags)
 
 let netlist ?opts ~order nl = mna ?opts ~order (Circuit.Mna.auto nl)
 

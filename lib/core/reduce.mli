@@ -40,6 +40,18 @@ val mna : ?opts:options -> order:int -> Circuit.Mna.t -> Model.t
     given. Raises {!Factor.Singular} only if even the auto-shifted
     pencil is singular. *)
 
+val checked :
+  ?opts:options ->
+  order:int ->
+  Circuit.Mna.t ->
+  Model.t * Circuit.Diagnostic.t list
+(** Like {!mna}, but additionally audits the numerical contracts the
+    algorithm rests on — symmetry of [G]/[C], J-orthogonality of the
+    Lanczos basis, tolerance consistency, and the stability/passivity
+    certificates of [Tₙ] — and returns the {!Contract} findings
+    alongside the model (used by [symor reduce --check] and the
+    [SYMOR_CHECK=1] environment contract). *)
+
 val netlist : ?opts:options -> order:int -> Circuit.Netlist.t -> Model.t
 (** [Circuit.Mna.auto] followed by {!mna} — the paper's specialised
     PSD forms are picked automatically for RC/RL/LC circuits. *)

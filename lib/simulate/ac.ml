@@ -6,7 +6,6 @@ type sweep = {
 
 (* reusable permuted workspace for repeated complex factorisations *)
 type workspace = {
-  perm : int array;
   gp : Sparse.Csr.t;
   cp : Sparse.Csr.t;
   bp : Linalg.Mat.t;
@@ -24,7 +23,7 @@ let workspace (m : Circuit.Mna.t) =
   let bp =
     Linalg.Mat.init n p (fun i j -> Linalg.Mat.get m.Circuit.Mna.b perm.(i) j)
   in
-  { perm; gp; cp; bp; n; p }
+  { gp; cp; bp; n; p }
 
 let z_at_ws (m : Circuit.Mna.t) ws s =
   let var =

@@ -257,7 +257,7 @@ let test_mna_observe_errors () =
     (try
        ignore (Circuit.Mna.observe_inductor_current nl m "Lx");
        false
-     with Not_found | Invalid_argument _ -> true);
+     with Not_found | Circuit.Diagnostic.User_error _ -> true);
   let nl2 = Circuit.Generators.rl_ladder ~sections:3 () in
   let m2 = Circuit.Mna.assemble_rl nl2 in
   let lname, _, _, _ = List.hd (Circuit.Netlist.inductors nl2) in
@@ -265,7 +265,7 @@ let test_mna_observe_errors () =
     (try
        ignore (Circuit.Mna.observe_inductor_current nl2 m2 lname);
        false
-     with Invalid_argument _ -> true)
+     with Circuit.Diagnostic.User_error _ -> true)
 
 let test_mna_rejects () =
   let nl = Circuit.Generators.rlc_line ~sections:2 () in
@@ -273,13 +273,13 @@ let test_mna_rejects () =
     (try
        ignore (Circuit.Mna.assemble_rc nl);
        false
-     with Invalid_argument _ -> true);
+     with Circuit.Diagnostic.User_error _ -> true);
   let nl2 = Circuit.Generators.rc_line ~sections:2 () in
   Alcotest.(check bool) "lc form rejects resistors" true
     (try
        ignore (Circuit.Mna.assemble_lc nl2);
        false
-     with Invalid_argument _ -> true);
+     with Circuit.Diagnostic.User_error _ -> true);
   let nl3 = Circuit.Netlist.create () in
   let a = Circuit.Netlist.node nl3 "a" in
   Circuit.Netlist.add_resistor nl3 a 0 1.0;
@@ -287,7 +287,7 @@ let test_mna_rejects () =
     (try
        ignore (Circuit.Mna.assemble_rc nl3);
        false
-     with Invalid_argument _ -> true)
+     with Circuit.Diagnostic.User_error _ -> true)
 
 (* observe_inductor_current in the general form: drive port 1 of an
    RL series circuit; inductor current equals port current. *)
@@ -411,7 +411,7 @@ let prop_z_symmetric =
 
 let () =
   let qsuite =
-    List.map QCheck_alcotest.to_alcotest [ prop_random_rc_assembles; prop_z_symmetric ]
+    List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_random_rc_assembles; prop_z_symmetric ]
   in
   Alcotest.run "circuit"
     [

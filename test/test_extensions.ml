@@ -148,7 +148,7 @@ let test_vsource_rejected_by_mor () =
     (try
        ignore (Circuit.Mna.assemble_rc nl);
        false
-     with Invalid_argument _ -> true)
+     with Circuit.Diagnostic.User_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Cauer synthesis                                                    *)

@@ -175,7 +175,7 @@ let test_failure_empty_netlist_rejected () =
     (try
        ignore (Circuit.Mna.assemble_rc nl);
        false
-     with Invalid_argument _ -> true)
+     with Circuit.Diagnostic.User_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* parser fuzzing                                                     *)
@@ -227,7 +227,7 @@ let prop_reduce_always_finite =
 
 let () =
   let qsuite =
-    List.map QCheck_alcotest.to_alcotest
+    List.map (fun t -> QCheck_alcotest.to_alcotest t)
       [ prop_parser_never_crashes; prop_roundtrip_random_rc; prop_reduce_always_finite ]
   in
   Alcotest.run "integration"
