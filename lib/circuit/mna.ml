@@ -289,6 +289,19 @@ let auto nl =
       "Mna.auto: nonlinear/controlled elements present — run `symor lint` for \
        the offending cards"
 
+let pencil_pattern m =
+  let tr = Sparse.Triplet.create m.n m.n in
+  for i = 0 to m.n - 1 do
+    Sparse.Csr.iter_row m.g i (fun j _ -> Sparse.Triplet.add tr i j 1.0);
+    Sparse.Csr.iter_row m.c i (fun j _ -> Sparse.Triplet.add tr i j 1.0)
+  done;
+  Sparse.Csr.of_triplet tr
+
+let unknown_label m row =
+  if row < 0 || row >= m.n then invalid_arg "Mna.unknown_label: row out of range"
+  else if row < m.n_nodes then Printf.sprintf "node-voltage unknown %d" (row + 1)
+  else Printf.sprintf "inductor-current unknown %d" (row - m.n_nodes + 1)
+
 let observe_inductor_current nl mna l_name =
   let idx = Netlist.find_inductor nl l_name in
   match (mna.variable, mna.gain) with

@@ -58,6 +58,21 @@ val auto : Netlist.t -> t
 (** Dispatch on {!Netlist.classify}: the specialised PSD form when the
     topology allows it, the general form otherwise. *)
 
+val pencil_pattern : t -> Sparse.Csr.t
+(** The union sparsity pattern of [G] and [C] (all values 1): the
+    structure of [G + sC] for generic [s ≠ 0], exactly as stamped —
+    entries that happen to cancel numerically are still structural
+    nonzeros. This is what the structural analyzer
+    ([Analysis.Struct_rules], [symor analyze]) certifies solvability
+    and predicts factorisation fill on. *)
+
+val unknown_label : t -> int -> string
+(** Human-readable label of pencil row/column [row]:
+    ["node-voltage unknown k"] (1-based MNA node index) for the
+    leading [n_nodes] rows, ["inductor-current unknown k"] for the
+    trailing ones. Use [Analysis.Struct_rules] when the netlist is
+    available — it resolves actual node names and source lines. *)
+
 val inductance_matrix : Netlist.t -> Linalg.Mat.t
 (** The (dense) inductance matrix [ℒ] including mutual couplings, in
     {!Netlist.inductors} order. Symmetric positive definite for

@@ -30,6 +30,29 @@ let log_src = Logs.Src.create "sympvl.reduce" ~doc:"SyMPVL driver"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* structural pre-flight: a pencil whose pattern has structural rank
+   < n is singular for every element value and every expansion shift
+   (Matching.mli) — fail up front with a located user error instead of
+   a late Factor.Singular from some shifted retry *)
+let check_structure (m : Circuit.Mna.t) =
+  let mm = Sparse.Matching.maximum (Circuit.Mna.pencil_pattern m) in
+  let n = m.Circuit.Mna.n in
+  if mm.Sparse.Matching.rank < n then begin
+    let rows = Sparse.Matching.unmatched_rows mm in
+    let shown = List.filteri (fun i _ -> i < 4) rows in
+    let labels =
+      String.concat ", " (List.map (Circuit.Mna.unknown_label m) shown)
+    in
+    let extra = List.length rows - List.length shown in
+    Circuit.Diagnostic.user_errorf
+      "[STR001] G + sC is structurally singular (structural rank %d of %d): \
+       %s%s cannot be matched to independent equations — no element values or \
+       expansion shift can repair this; run `symor analyze` for source-line \
+       provenance"
+      mm.Sparse.Matching.rank n labels
+      (if extra > 0 then Printf.sprintf " (and %d more)" extra else "")
+  end
+
 let auto_shift (m : Circuit.Mna.t) =
   let diag_max a =
     let worst = ref 0.0 in
@@ -90,6 +113,7 @@ let run_with_factor (m : Circuit.Mna.t) opts shift fac =
    Lanczos result so the contract checker can audit them *)
 let mna_internal ?opts ~order (m : Circuit.Mna.t) =
   let opts = match opts with Some o -> o | None -> default ~order in
+  check_structure m;
   match opts.shift with
   | Some s0 ->
     let fac =

@@ -37,8 +37,16 @@ val auto_shift : Circuit.Mna.t -> float
 
 val mna : ?opts:options -> order:int -> Circuit.Mna.t -> Model.t
 (** Reduce a pre-assembled pencil. [opts] overrides [order] if both
-    given. Raises {!Factor.Singular} only if even the auto-shifted
-    pencil is singular. *)
+    given.
+
+    A structural pre-flight runs first: if the pattern of [G + sC]
+    has structural rank < n (singular for {e every} element value and
+    shift — see {!Sparse.Matching}), the call raises
+    {!Circuit.Diagnostic.User_error} with an [STR001] message naming
+    the unmatched unknowns, instead of a late {!Factor.Singular} from
+    a doomed shifted retry. {!Factor.Singular} is still raised when
+    the structurally sound pencil is {e numerically} singular even
+    after the automatic shift. *)
 
 val checked :
   ?opts:options ->

@@ -1,0 +1,47 @@
+module Int_set = Set.Make (Int)
+
+let identity n = Array.init n (fun i -> i)
+
+(* greedy minimum-degree elimination on an explicit quotient-free
+   graph: pick the minimum-degree vertex, join its neighbours into a
+   clique, remove it. Exact external degrees, smallest-index
+   tie-break. *)
+let min_degree a =
+  let n = a.Csr.rows in
+  let adj = Array.make n Int_set.empty in
+  for i = 0 to n - 1 do
+    Csr.iter_row a i (fun j _ ->
+        if i <> j then begin
+          adj.(i) <- Int_set.add j adj.(i);
+          adj.(j) <- Int_set.add i adj.(j)
+        end)
+  done;
+  let deg = Array.map Int_set.cardinal adj in
+  let alive = Array.make n true in
+  let order = Array.make n 0 in
+  for k = 0 to n - 1 do
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if alive.(i) && (!best = -1 || deg.(i) < deg.(!best)) then best := i
+    done;
+    let p = !best in
+    order.(k) <- p;
+    alive.(p) <- false;
+    let nbrs = adj.(p) in
+    Int_set.iter
+      (fun u ->
+        adj.(u) <- Int_set.remove u (Int_set.remove p (Int_set.union adj.(u) nbrs));
+        deg.(u) <- Int_set.cardinal adj.(u))
+      nbrs;
+    adj.(p) <- Int_set.empty
+  done;
+  order
+
+let order a =
+  let n = a.Csr.rows in
+  if n = 0 then [||]
+  else begin
+    let cand = min_degree a in
+    if Etree.predicted_nnz a cand <= Etree.factor_nnz (Etree.of_pattern a) then cand
+    else identity n
+  end

@@ -1,0 +1,31 @@
+(** Minimum-degree fill-reducing ordering.
+
+    Symbolically eliminates one vertex of minimum degree at a time,
+    replacing its neighbourhood by a clique — the greedy heuristic
+    behind AMD/MMD. Unlike {!Rcm}, which minimises the {e envelope}
+    (profile) a skyline factorisation fills, minimum degree targets
+    total factor fill, which is the right objective for genuinely
+    two-dimensional patterns (grids, meshes, package models) where
+    any banded ordering must fill the whole band.
+
+    Use {!Etree.predicted_nnz} to compare the two on a concrete
+    pattern — [symor analyze] does exactly that and reports the
+    recommendation as [STR006]. *)
+
+val order : Csr.t -> int array
+(** [order a] returns [perm] with [perm.(new_index) = old_index]
+    (the {!Csr.permute_sym} convention). The structure is
+    symmetrised; disconnected patterns are fine. Guarantee: the
+    {!Etree.predicted_nnz} of the returned ordering never exceeds
+    the natural order's — when the greedy elimination loses to
+    natural (possible on tiny or already-optimal patterns), the
+    identity permutation is returned instead.
+
+    Ties are broken by smallest vertex index, so the ordering is
+    deterministic. Complexity [O(n²)] selection plus clique-update
+    set work — fine up to a few thousand unknowns; swap in a
+    bucketed degree structure before pointing it at larger MNA
+    systems. *)
+
+val identity : int -> int array
+(** The identity permutation (ordering disabled). *)

@@ -1,0 +1,185 @@
+type t = {
+  matching : Matching.t;
+  hor_rows : int array;
+  hor_cols : int array;
+  sq_rows : int array;
+  sq_cols : int array;
+  ver_rows : int array;
+  ver_cols : int array;
+  blocks : (int array * int array) array;
+}
+
+(* rows incident to each column (the transpose adjacency) *)
+let col_rows a =
+  let cols = Array.make a.Csr.cols [] in
+  for i = a.Csr.rows - 1 downto 0 do
+    Csr.iter_row a i (fun j _ -> cols.(j) <- i :: cols.(j))
+  done;
+  cols
+
+(* iterative Tarjan SCC; [adj] is an array of successor arrays.
+   Returns the components in topological order of the condensation
+   (each component only reaches components listed after it). *)
+let tarjan_scc adj =
+  let nv = Array.length adj in
+  let index = Array.make nv (-1) in
+  let low = Array.make nv 0 in
+  let on_stack = Array.make nv false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let frame_v = Array.make (max nv 1) 0 in
+  let frame_e = Array.make (max nv 1) 0 in
+  for s = 0 to nv - 1 do
+    if index.(s) = -1 then begin
+      let sp = ref 0 in
+      frame_v.(0) <- s;
+      frame_e.(0) <- 0;
+      index.(s) <- !counter;
+      low.(s) <- !counter;
+      incr counter;
+      stack := s :: !stack;
+      on_stack.(s) <- true;
+      while !sp >= 0 do
+        let v = frame_v.(!sp) in
+        let ei = frame_e.(!sp) in
+        if ei < Array.length adj.(v) then begin
+          frame_e.(!sp) <- ei + 1;
+          let w = adj.(v).(ei) in
+          if index.(w) = -1 then begin
+            index.(w) <- !counter;
+            low.(w) <- !counter;
+            incr counter;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            incr sp;
+            frame_v.(!sp) <- w;
+            frame_e.(!sp) <- 0
+          end
+          else if on_stack.(w) then low.(v) <- min low.(v) index.(w)
+        end
+        else begin
+          if low.(v) = index.(v) then begin
+            let comp = ref [] in
+            let popping = ref true in
+            while !popping do
+              match !stack with
+              | w :: rest ->
+                stack := rest;
+                on_stack.(w) <- false;
+                comp := w :: !comp;
+                if w = v then popping := false
+              | [] -> popping := false
+            done;
+            comps := Array.of_list !comp :: !comps
+          end;
+          decr sp;
+          if !sp >= 0 then begin
+            let u = frame_v.(!sp) in
+            low.(u) <- min low.(u) low.(v)
+          end
+        end
+      done
+    end
+  done;
+  (* Tarjan emits sinks first; the prepend-accumulator reverses that
+     into topological (sources-first) order *)
+  Array.of_list !comps
+
+let collect flags =
+  let acc = ref [] in
+  for i = Array.length flags - 1 downto 0 do
+    if flags.(i) then acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+let decompose a =
+  let m = a.Csr.rows and n = a.Csr.cols in
+  let matching = Matching.maximum a in
+  let by_col = col_rows a in
+  (* horizontal part: alternating BFS from every unmatched column
+     (column → incident row → that row's matched column → …) *)
+  let row_h = Array.make m false and col_h = Array.make n false in
+  let q = Queue.create () in
+  List.iter
+    (fun j ->
+      col_h.(j) <- true;
+      Queue.add j q)
+    (Matching.unmatched_cols matching);
+  while not (Queue.is_empty q) do
+    let j = Queue.pop q in
+    List.iter
+      (fun r ->
+        if not row_h.(r) then begin
+          row_h.(r) <- true;
+          let c = matching.Matching.row_match.(r) in
+          if c >= 0 && not col_h.(c) then begin
+            col_h.(c) <- true;
+            Queue.add c q
+          end
+        end)
+      by_col.(j)
+  done;
+  (* vertical part: alternating BFS from every unmatched row
+     (row → incident column → that column's matched row → …) *)
+  let row_v = Array.make m false and col_v = Array.make n false in
+  List.iter
+    (fun i ->
+      row_v.(i) <- true;
+      Queue.add i q)
+    (Matching.unmatched_rows matching);
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    Csr.iter_row a i (fun j _ ->
+        if not col_v.(j) then begin
+          col_v.(j) <- true;
+          let r = matching.Matching.col_match.(j) in
+          if r >= 0 && not row_v.(r) then begin
+            row_v.(r) <- true;
+            Queue.add r q
+          end
+        end)
+  done;
+  (* square part: everything the two searches did not claim *)
+  let row_s = Array.init m (fun i -> (not row_h.(i)) && not row_v.(i)) in
+  let col_s = Array.init n (fun j -> (not col_h.(j)) && not col_v.(j)) in
+  let sq_rows = collect row_s and sq_cols = collect col_s in
+  (* fine decomposition: SCCs of the square pairing graph — vertex
+     u = (row rᵤ, col row_match rᵤ), edge u → v when A(rᵤ, c_v) ≠ 0 *)
+  let vertex_of_col = Array.make n (-1) in
+  Array.iteri
+    (fun u r -> vertex_of_col.(matching.Matching.row_match.(r)) <- u)
+    sq_rows;
+  let adj =
+    Array.mapi
+      (fun u r ->
+        let succ = ref [] in
+        Csr.iter_row a r (fun j _ ->
+            let v = vertex_of_col.(j) in
+            if v >= 0 && v <> u then succ := v :: !succ);
+        Array.of_list (List.sort_uniq compare !succ))
+      sq_rows
+  in
+  let comps = tarjan_scc adj in
+  let blocks =
+    Array.map
+      (fun comp ->
+        ( Array.map (fun u -> sq_rows.(u)) comp,
+          Array.map (fun u -> matching.Matching.row_match.(sq_rows.(u))) comp ))
+      comps
+  in
+  {
+    matching;
+    hor_rows = collect row_h;
+    hor_cols = collect col_h;
+    sq_rows;
+    sq_cols;
+    ver_rows = collect row_v;
+    ver_cols = collect col_v;
+    blocks;
+  }
+
+let is_structurally_nonsingular t =
+  Array.length t.hor_cols = 0
+  && Array.length t.ver_rows = 0
+  && Array.length t.sq_rows = Array.length t.sq_cols

@@ -1,0 +1,45 @@
+(** Dulmage–Mendelsohn decomposition of a sparsity pattern.
+
+    The coarse decomposition splits the rows and columns of any
+    rectangular pattern into three parts, canonically and
+    value-independently:
+
+    - the {e horizontal} (underdetermined) part — columns reachable
+      from unmatched columns by alternating paths, together with the
+      rows they touch: more columns than rows, so those unknowns are
+      not determined by any value assignment;
+    - the {e vertical} (overdetermined) part — rows reachable from
+      unmatched rows: structurally redundant/conflicting equations;
+    - the {e square} well-determined part, which carries a perfect
+      matching and is further split ({e fine} decomposition) into the
+      strongly connected components of its directed pairing graph —
+      the block-triangular form (BTF) that a factorisation can exploit
+      block by block.
+
+    A square pattern is structurally nonsingular iff both the
+    horizontal and vertical parts are empty. *)
+
+type t = {
+  matching : Matching.t;
+  hor_rows : int array;
+  hor_cols : int array;
+      (** Underdetermined part: [hor_cols] strictly outnumber
+          [hor_rows] when nonempty. *)
+  sq_rows : int array;
+  sq_cols : int array;  (** Perfectly matched square part. *)
+  ver_rows : int array;
+  ver_cols : int array;
+      (** Overdetermined part: [ver_rows] strictly outnumber
+          [ver_cols] when nonempty. *)
+  blocks : (int array * int array) array;
+      (** Fine decomposition of the square part: one [(rows, cols)]
+          pair per diagonal block of the BTF, in topological order
+          (each block depends only on later blocks). Row/column
+          indices refer to the original matrix. *)
+}
+
+val decompose : Csr.t -> t
+(** Decompose the stored-entry pattern (values ignored). *)
+
+val is_structurally_nonsingular : t -> bool
+(** True iff the matrix is square with a perfect matching. *)

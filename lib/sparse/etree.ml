@@ -1,0 +1,69 @@
+type t = { parent : int array; col_counts : int array }
+
+(* strict-lower adjacency of the symmetrised pattern: for each row i,
+   the columns k < i with A(i,k) or A(k,i) stored. Duplicates are
+   harmless: both walks below stop at already-visited nodes. *)
+let lower_adjacency a =
+  let n = a.Csr.rows in
+  let lower = Array.make n [] in
+  for i = 0 to n - 1 do
+    Csr.iter_row a i (fun j _ ->
+        if i <> j then begin
+          let hi = max i j and lo = min i j in
+          lower.(hi) <- lo :: lower.(hi)
+        end)
+  done;
+  lower
+
+let of_pattern a =
+  assert (a.Csr.rows = a.Csr.cols);
+  let n = a.Csr.rows in
+  let lower = lower_adjacency a in
+  (* Liu's algorithm with path compression: process rows in order;
+     for each entry k in the strict lower part of row i, climb the
+     partially built tree from k, splicing every traversed node's
+     [ancestor] pointer to i *)
+  let parent = Array.make n (-1) in
+  let ancestor = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun k ->
+        let j = ref k in
+        let climbing = ref true in
+        while !climbing do
+          if !j = i || ancestor.(!j) = i then climbing := false
+          else begin
+            let next = ancestor.(!j) in
+            ancestor.(!j) <- i;
+            if next = -1 then begin
+              parent.(!j) <- i;
+              climbing := false
+            end
+            else j := next
+          end
+        done)
+      lower.(i)
+  done;
+  (* column counts by the row-subtree walk: row i of L is nonzero
+     exactly at the nodes on the tree paths k → i for the lower
+     entries k of row i; mark nodes per row so shared path segments
+     are counted once *)
+  let col_counts = Array.make n 1 in
+  let mark = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    mark.(i) <- i;
+    List.iter
+      (fun k ->
+        let j = ref k in
+        while mark.(!j) <> i do
+          mark.(!j) <- i;
+          col_counts.(!j) <- col_counts.(!j) + 1;
+          j := (if parent.(!j) = -1 then i else parent.(!j))
+        done)
+      lower.(i)
+  done;
+  { parent; col_counts }
+
+let factor_nnz t = Array.fold_left ( + ) 0 t.col_counts
+
+let predicted_nnz a perm = factor_nnz (of_pattern (Csr.permute_sym a perm))

@@ -1,0 +1,37 @@
+(** Elimination tree and exact symbolic fill prediction for symmetric
+    patterns.
+
+    For a symmetric matrix [A] factored as [L D Lᵀ] {e without}
+    pivoting, the sparsity structure of [L] is determined by the
+    pattern of [A] alone: [L(i,j) ≠ 0] (barring exact numerical
+    cancellation) iff [j] lies on the elimination-tree path from some
+    [k] with [A(i,k) ≠ 0, k ≤ j] up to [i] (Schreiber's row-subtree
+    characterisation). This module computes the tree with Liu's
+    path-compression algorithm and the per-column factor counts by
+    walking each row subtree — [O(nnz(L))] total, no numerical work —
+    so the cost of a sparse Cholesky/LDLᵀ under any candidate ordering
+    can be predicted {e exactly} before committing to it. *)
+
+type t = {
+  parent : int array;
+      (** [parent.(j)] is the elimination-tree parent of column [j],
+          or [-1] for a root. *)
+  col_counts : int array;
+      (** [col_counts.(j)] = number of structural nonzeros in column
+          [j] of the Cholesky factor [L], diagonal included. *)
+}
+
+val of_pattern : Csr.t -> t
+(** Build from a stored-entry pattern; the pattern is symmetrised
+    internally (values are ignored), so slightly unsymmetric inputs
+    are accepted. *)
+
+val factor_nnz : t -> int
+(** Predicted [nnz(L)] (lower triangle, diagonal included) — exactly
+    the nonzero count of a no-pivoting LDLᵀ/Cholesky factor of any
+    matrix with this pattern, absent exact cancellation. *)
+
+val predicted_nnz : Csr.t -> int array -> int
+(** [predicted_nnz a perm] — factor nnz of [P A Pᵀ] under the
+    ordering [perm] (old indices in new order, as {!Csr.permute_sym}
+    takes). The cheap way to compare candidate orderings. *)

@@ -1,0 +1,84 @@
+type t = { row_match : int array; col_match : int array; rank : int }
+
+(* MC21: for each unmatched row, search for an augmenting alternating
+   path (row → unvisited column → its matched row → …) and flip the
+   matching along it. The DFS is iterative: [stack] holds the rows on
+   the current path, [via.(d)] the column used to advance from
+   [stack.(d)], and [ptr.(i)] the next untried edge of row [i].
+   Columns carry a visit stamp per root so each is explored once per
+   augmentation attempt. *)
+let maximum a =
+  let m = a.Csr.rows and n = a.Csr.cols in
+  let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
+  let row_match = Array.make m (-1) and col_match = Array.make n (-1) in
+  (* cheap greedy pass: matches the diagonal-dominant bulk of MNA
+     patterns, leaving the DFS only the hard leftovers *)
+  for i = 0 to m - 1 do
+    let k = ref row_ptr.(i) in
+    while row_match.(i) = -1 && !k < row_ptr.(i + 1) do
+      let j = col_idx.(!k) in
+      if col_match.(j) = -1 then begin
+        row_match.(i) <- j;
+        col_match.(j) <- i
+      end;
+      incr k
+    done
+  done;
+  let visited = Array.make n (-1) in
+  let stack = Array.make (m + 1) 0 in
+  let via = Array.make (m + 1) 0 in
+  let ptr = Array.make (max m 1) 0 in
+  for root = 0 to m - 1 do
+    if row_match.(root) = -1 then begin
+      let depth = ref 0 in
+      stack.(0) <- root;
+      ptr.(root) <- row_ptr.(root);
+      let augmented = ref false in
+      while !depth >= 0 && not !augmented do
+        let i = stack.(!depth) in
+        if ptr.(i) >= row_ptr.(i + 1) then
+          (* row exhausted: backtrack *)
+          decr depth
+        else begin
+          let j = col_idx.(ptr.(i)) in
+          ptr.(i) <- ptr.(i) + 1;
+          if visited.(j) <> root then begin
+            visited.(j) <- root;
+            if col_match.(j) = -1 then begin
+              (* free column: flip the matching along the path *)
+              row_match.(i) <- j;
+              col_match.(j) <- i;
+              for d = !depth - 1 downto 0 do
+                let c = via.(d) in
+                row_match.(stack.(d)) <- c;
+                col_match.(c) <- stack.(d)
+              done;
+              augmented := true
+            end
+            else begin
+              let r = col_match.(j) in
+              via.(!depth) <- j;
+              incr depth;
+              stack.(!depth) <- r;
+              ptr.(r) <- row_ptr.(r)
+            end
+          end
+        end
+      done
+    end
+  done;
+  let rank = Array.fold_left (fun acc c -> if c >= 0 then acc + 1 else acc) 0 row_match in
+  { row_match; col_match; rank }
+
+let structural_rank a = (maximum a).rank
+
+let unmatched indices =
+  let acc = ref [] in
+  for i = Array.length indices - 1 downto 0 do
+    if indices.(i) = -1 then acc := i :: !acc
+  done;
+  !acc
+
+let unmatched_rows t = unmatched t.row_match
+
+let unmatched_cols t = unmatched t.col_match

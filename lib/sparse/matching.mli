@@ -1,0 +1,38 @@
+(** Maximum transversal (maximum bipartite matching between rows and
+    columns of a sparsity pattern) via depth-first augmenting paths —
+    the MC21 algorithm.
+
+    The size of a maximum transversal is the {e structural rank}: the
+    largest numerical rank the matrix can attain over all choices of
+    values at its nonzero positions (and the rank it attains for
+    generic values). A square matrix with structural rank < n is
+    singular for {e every} choice of values — no frequency shift or
+    pivoting strategy can repair it — which is exactly the defect the
+    [STR001] analyzer rule reports before any factorisation is
+    attempted. *)
+
+type t = {
+  row_match : int array;
+      (** [row_match.(i)] is the column matched to row [i], or [-1]. *)
+  col_match : int array;
+      (** [col_match.(j)] is the row matched to column [j], or [-1]. *)
+  rank : int;  (** Number of matched pairs = structural rank. *)
+}
+
+val maximum : Csr.t -> t
+(** A maximum matching of the stored-entry pattern (values are
+    ignored; explicit zeros count as structural nonzeros). Runs a
+    cheap greedy pass first, then MC21 augmenting depth-first search —
+    worst case [O(n · nnz)], near-linear on MNA patterns where the
+    greedy pass matches almost everything via the diagonal. *)
+
+val structural_rank : Csr.t -> int
+(** [structural_rank a = (maximum a).rank]. *)
+
+val unmatched_rows : t -> int list
+(** Rows left unmatched, ascending — for a square matrix these are
+    the (structurally) redundant equations. *)
+
+val unmatched_cols : t -> int list
+(** Columns left unmatched, ascending — unknowns no equation can
+    determine. *)

@@ -85,4 +85,9 @@ let order a =
   done;
   (* !acc is already the reversed concatenation: Cuthill–McKee order
      reversed per component — exactly RCM *)
-  Array.of_list !acc
+  let cand = Array.of_list !acc in
+  (* never-worse guarantee: RCM is a heuristic, and on patterns that
+     are already well ordered it can enlarge the envelope — fall back
+     to the natural order whenever it does *)
+  if n = 0 || Csr.profile (Csr.permute_sym a cand) <= Csr.profile a then cand
+  else identity n

@@ -9,7 +9,9 @@ val order : Csr.t -> int array
     small profile; [perm.(new_index) = old_index]. The structure of
     [a] is symmetrised internally, so slightly unsymmetric patterns
     are accepted. Disconnected graphs are handled component by
-    component. *)
+    component. Guarantee: the returned ordering's {!Csr.profile}
+    never exceeds the natural order's — when the heuristic loses,
+    the identity permutation is returned instead. *)
 
 val identity : int -> int array
 (** The identity permutation (ordering disabled). *)

@@ -1,0 +1,404 @@
+(* Structural-analysis tests: maximum transversal, Dulmage–Mendelsohn,
+   elimination trees / exact fill prediction, AMD ordering and the
+   STR001–STR008 analyzer rules.
+
+   The load-bearing property throughout: everything here is computed
+   from the sparsity pattern alone, so predictions must match actual
+   numerical factorisations exactly (no cancellation on the M-matrix
+   workloads used). *)
+
+module D = Circuit.Diagnostic
+module SR = Analysis.Struct_rules
+
+let pattern_of_lists n rows =
+  let tr = Sparse.Triplet.create n n in
+  List.iteri (fun i cols -> List.iter (fun j -> Sparse.Triplet.add tr i j 1.0) cols) rows;
+  Sparse.Csr.of_triplet tr
+
+(* random symmetric diagonally dominant M-matrix: SPD, and all factor
+   entries are strictly nonzero wherever structurally nonzero, so
+   symbolic prediction must equal the actual factor exactly *)
+let random_spd rng n extra =
+  let tr = Sparse.Triplet.create n n in
+  for i = 0 to n - 1 do
+    Sparse.Triplet.add tr i i 2.0
+  done;
+  for _ = 1 to extra do
+    let i = Linalg.Rng.int rng n and j = Linalg.Rng.int rng n in
+    if i <> j then Sparse.Triplet.add_sym tr i j (-1.0 /. float_of_int (4 * n))
+  done;
+  Sparse.Csr.of_triplet tr
+
+(* nnz of the lower-triangular dense Cholesky factor, diagonal
+   included; structural zeros of L come out exactly 0.0 *)
+let chol_nnz a =
+  let f = Linalg.Chol.factor (Sparse.Csr.to_dense a) in
+  let l = Linalg.Chol.l f in
+  let n = a.Sparse.Csr.rows in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      if Linalg.Mat.get l i j <> 0.0 then incr c
+    done
+  done;
+  !c
+
+(* numerical rank by Gaussian elimination with complete pivoting *)
+let numerical_rank (a : Sparse.Csr.t) =
+  let n = a.Sparse.Csr.rows and m = a.Sparse.Csr.cols in
+  let w = Array.make_matrix n m 0.0 in
+  for i = 0 to n - 1 do
+    Sparse.Csr.iter_row a i (fun j v -> w.(i).(j) <- v)
+  done;
+  let used_row = Array.make n false and used_col = Array.make m false in
+  let rank = ref 0 in
+  let running = ref true in
+  while !running do
+    let pi = ref (-1) and pj = ref (-1) and pv = ref 0.0 in
+    for i = 0 to n - 1 do
+      if not used_row.(i) then
+        for j = 0 to m - 1 do
+          if (not used_col.(j)) && Float.abs w.(i).(j) > !pv then begin
+            pv := Float.abs w.(i).(j);
+            pi := i;
+            pj := j
+          end
+        done
+    done;
+    if !pv < 1e-9 then running := false
+    else begin
+      incr rank;
+      used_row.(!pi) <- true;
+      used_col.(!pj) <- true;
+      for i = 0 to n - 1 do
+        if not used_row.(i) then begin
+          let f = w.(i).(!pj) /. w.(!pi).(!pj) in
+          if f <> 0.0 then
+            for j = 0 to m - 1 do
+              if not used_col.(j) then w.(i).(j) <- w.(i).(j) -. (f *. w.(!pi).(j))
+            done
+        end
+      done
+    end
+  done;
+  !rank
+
+let is_permutation n perm =
+  let seen = Array.make n false in
+  Array.iter (fun p -> seen.(p) <- true) perm;
+  Array.length perm = n && Array.for_all Fun.id seen
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                           *)
+
+let test_matching_singular () =
+  (* row 2 only repeats columns already needed by rows 0 and 1 *)
+  let a = pattern_of_lists 3 [ [ 0; 1 ]; [ 1 ]; [ 1 ] ] in
+  let m = Sparse.Matching.maximum a in
+  Alcotest.(check int) "rank" 2 m.Sparse.Matching.rank;
+  Alcotest.(check int) "structural_rank" 2 (Sparse.Matching.structural_rank a);
+  Alcotest.(check int) "one unmatched row" 1
+    (List.length (Sparse.Matching.unmatched_rows m));
+  Alcotest.(check (list int)) "unmatched col" [ 2 ] (Sparse.Matching.unmatched_cols m)
+
+let test_matching_augmenting () =
+  (* the greedy pass matches 0→0, 1→1 and leaves row 2 stuck on taken
+     columns; only an augmenting path reaches rank 3 *)
+  let a = pattern_of_lists 3 [ [ 0; 2 ]; [ 0 ]; [ 0; 1 ] ] in
+  Alcotest.(check int) "rank 3 via augmentation" 3 (Sparse.Matching.structural_rank a)
+
+let test_matching_empty_row () =
+  let a = pattern_of_lists 3 [ [ 0 ]; []; [ 2 ] ] in
+  let m = Sparse.Matching.maximum a in
+  Alcotest.(check (list int)) "empty row unmatched" [ 1 ]
+    (Sparse.Matching.unmatched_rows m)
+
+(* ------------------------------------------------------------------ *)
+(* Dulmage–Mendelsohn                                                 *)
+
+let test_dm_parts () =
+  let a = pattern_of_lists 3 [ [ 0; 1 ]; [ 1 ]; [ 1 ] ] in
+  let dm = Sparse.Dm.decompose a in
+  Alcotest.(check bool) "singular" false (Sparse.Dm.is_structurally_nonsingular dm);
+  (* column 2 is empty: one undeterminable unknown, no equations *)
+  Alcotest.(check int) "under-determined unknowns" 1 (Array.length dm.Sparse.Dm.hor_cols);
+  Alcotest.(check int) "no equations cover them" 0 (Array.length dm.Sparse.Dm.hor_rows);
+  (* rows 1 and 2 both hang off column 1: two equations, one unknown *)
+  Alcotest.(check int) "over-determined equations" 2 (Array.length dm.Sparse.Dm.ver_rows);
+  Alcotest.(check int) "over-determined unknowns" 1 (Array.length dm.Sparse.Dm.ver_cols);
+  Alcotest.(check int) "square remainder" 1 (Array.length dm.Sparse.Dm.sq_rows)
+
+let test_dm_btf_topological () =
+  (* block upper-triangular pattern: {0,1} strongly connected, feeds 2;
+     2 feeds 3. Blocks must come back in topological order. *)
+  let a = pattern_of_lists 4 [ [ 0; 1 ]; [ 0; 1; 2 ]; [ 2; 3 ]; [ 3 ] ] in
+  let dm = Sparse.Dm.decompose a in
+  Alcotest.(check bool) "nonsingular" true (Sparse.Dm.is_structurally_nonsingular dm);
+  Alcotest.(check int) "three blocks" 3 (Array.length dm.Sparse.Dm.blocks);
+  let sizes = Array.map (fun (r, _) -> Array.length r) dm.Sparse.Dm.blocks in
+  Alcotest.(check (array int)) "block sizes in order" [| 2; 1; 1 |] sizes;
+  (* each block depends only on later blocks: cols of block k must not
+     appear in rows of blocks > k *)
+  let block_of = Array.make 4 (-1) in
+  Array.iteri (fun k (rs, _) -> Array.iter (fun r -> block_of.(r) <- k) rs)
+    dm.Sparse.Dm.blocks;
+  for i = 0 to 3 do
+    Sparse.Csr.iter_row a i (fun j _ ->
+        Alcotest.(check bool) "no back edge" true (block_of.(j) >= block_of.(i)))
+  done
+
+let test_dm_decoupled () =
+  let a = pattern_of_lists 4 [ [ 0; 1 ]; [ 0; 1 ]; [ 2; 3 ]; [ 2; 3 ] ] in
+  let dm = Sparse.Dm.decompose a in
+  Alcotest.(check int) "two independent blocks" 2 (Array.length dm.Sparse.Dm.blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Elimination tree / fill prediction                                 *)
+
+let test_etree_arrow () =
+  (* arrow matrix, apex first: eliminating the apex forms a clique of
+     the remaining 4 — the factor is completely dense (15 entries) *)
+  let apex_first =
+    pattern_of_lists 5 [ [ 0; 1; 2; 3; 4 ]; [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ]; [ 0; 4 ] ]
+  in
+  Alcotest.(check int) "apex first: dense factor" 15
+    (Sparse.Etree.factor_nnz (Sparse.Etree.of_pattern apex_first));
+  (* apex last: no fill at all — 2 entries per leading column, 1 for
+     the apex *)
+  let apex_last =
+    pattern_of_lists 5 [ [ 0; 4 ]; [ 1; 4 ]; [ 2; 4 ]; [ 3; 4 ]; [ 0; 1; 2; 3; 4 ] ]
+  in
+  let t = Sparse.Etree.of_pattern apex_last in
+  Alcotest.(check int) "apex last: no fill" 9 (Sparse.Etree.factor_nnz t);
+  Alcotest.(check (array int)) "parents all apex" [| 4; 4; 4; 4; -1 |] t.Sparse.Etree.parent;
+  (* and predicted_nnz recovers the good ordering from the bad one *)
+  let to_last = [| 1; 2; 3; 4; 0 |] in
+  Alcotest.(check int) "permutation heals the arrow" 9
+    (Sparse.Etree.predicted_nnz apex_first to_last)
+
+let test_etree_matches_dense_chol () =
+  let rng = Linalg.Rng.create 7 in
+  let a = random_spd rng 30 60 in
+  Alcotest.(check int) "prediction exact"
+    (chol_nnz a)
+    (Sparse.Etree.factor_nnz (Sparse.Etree.of_pattern a))
+
+(* ------------------------------------------------------------------ *)
+(* AMD                                                                *)
+
+let test_amd_permutation_and_gain () =
+  (* scrambled arrow: natural order fills densely, AMD must place the
+     apex last and recover the fill-free factor *)
+  let a =
+    pattern_of_lists 5 [ [ 0; 1; 2; 3; 4 ]; [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ]; [ 0; 4 ] ]
+  in
+  let perm = Sparse.Amd.order a in
+  Alcotest.(check bool) "is a permutation" true (is_permutation 5 perm);
+  (* minimum degree eliminates the degree-1 leaves before the apex, so
+     no elimination ever forms a clique: zero fill *)
+  Alcotest.(check bool) "apex not eliminated first" true (perm.(0) <> 0);
+  Alcotest.(check int) "fill-free" 9 (Sparse.Etree.predicted_nnz a perm)
+
+(* the acceptance workload: 20×25 RC mesh (500 nodes). AMD's predicted
+   factor nnz must match the actual Cholesky factor exactly and beat
+   the natural order. *)
+let test_amd_exact_on_grid () =
+  let nl = Circuit.Generators.rc_grid ~rows:20 ~cols:25 () in
+  let m = Circuit.Mna.auto nl in
+  let g = m.Circuit.Mna.g in
+  Alcotest.(check int) "500 unknowns" 500 g.Sparse.Csr.rows;
+  let natural = Sparse.Etree.factor_nnz (Sparse.Etree.of_pattern g) in
+  let perm = Sparse.Amd.order g in
+  Alcotest.(check bool) "valid permutation" true (is_permutation 500 perm);
+  let predicted = Sparse.Etree.predicted_nnz g perm in
+  let actual = chol_nnz (Sparse.Csr.permute_sym g perm) in
+  Alcotest.(check int) "AMD predicted = actual factor nnz" actual predicted;
+  Alcotest.(check bool)
+    (Printf.sprintf "AMD %d beats natural %d" predicted natural)
+    true (predicted < natural)
+
+(* ------------------------------------------------------------------ *)
+(* STR rules                                                          *)
+
+let codes s = List.map (fun d -> d.D.code) (SR.analyze_string s)
+let has code s = List.mem code (codes s)
+let check_has code s = Alcotest.(check bool) (code ^ " present") true (has code s)
+let check_not code s = Alcotest.(check bool) (code ^ " absent") false (has code s)
+
+let clean = "R1 1 2 10\nC1 1 0 1p\nR2 2 0 10\nC2 2 0 1p\n.port in 1\n"
+
+(* node "cut" is fed only by a current source: zero pencil row *)
+let cut_node = "* comment\nR1 in n1 1k\nI1 n1 cut DC 1m\n.port p1 in\n"
+
+(* node 2 touches only capacitors: C covers the pencil but G has an
+   empty row — the DC expansion point is structurally unusable *)
+let cap_cutset = "R1 1 0 1k\nC1 1 2 1p\nC2 2 0 1p\n.port in 1\n"
+
+let test_str_clean () =
+  let ds = SR.analyze_string clean in
+  Alcotest.(check bool) "only info findings" true
+    (List.for_all (fun d -> d.D.severity = D.Info) ds);
+  check_has "STR006" clean;
+  check_has "STR008" clean;
+  Alcotest.(check int) "exit 0" 0 (D.exit_code ~strict:false ds)
+
+let test_str001_located () =
+  let ds = SR.analyze_string cut_node in
+  Alcotest.(check int) "exit 2" 2 (D.exit_code ~strict:false ds);
+  let d = List.find (fun d -> d.D.code = "STR001") ds in
+  Alcotest.(check (option int)) "names the source line" (Some 3) d.D.line;
+  Alcotest.(check bool) "severity error" true (d.D.severity = D.Error);
+  check_has "STR002" cut_node;
+  check_has "STR003" cut_node;
+  check_not "STR001" clean
+
+let test_str004_cap_cutset () =
+  let ds = SR.analyze_string cap_cutset in
+  check_not "STR001" cap_cutset;
+  check_has "STR004" cap_cutset;
+  Alcotest.(check int) "warning exit 1" 1 (D.exit_code ~strict:false ds);
+  Alcotest.(check int) "strict exit 2" 2 (D.exit_code ~strict:true ds);
+  check_not "STR004" clean
+
+let test_str007_decoupled () =
+  let two_islands = "R1 1 0 1k\nR2 2 0 1k\n.port a 1\n.port b 2\n" in
+  check_has "STR007" two_islands;
+  check_not "STR007" clean
+
+let test_str006_on_grid () =
+  let nl = Circuit.Generators.rc_grid ~rows:6 ~cols:8 () in
+  let ds = SR.run nl (Circuit.Mna.auto nl) in
+  Alcotest.(check bool) "STR006 present" true
+    (List.exists (fun d -> d.D.code = "STR006") ds);
+  let r = SR.orderings (Circuit.Mna.auto nl) in
+  Alcotest.(check bool) "AMD never worse than natural on the mesh" true
+    (r.SR.amd_nnz <= r.SR.natural_nnz);
+  Alcotest.(check bool) "RCM never worse than natural on the mesh" true
+    (r.SR.rcm_nnz <= r.SR.natural_nnz)
+
+let test_reduce_preflight () =
+  let nl = Circuit.Parser.parse_string cut_node in
+  let raised =
+    try
+      ignore (Sympvl.Reduce.netlist ~order:4 nl);
+      `None
+    with
+    | D.User_error msg -> `User msg
+    | Sympvl.Factor.Singular _ -> `Factor
+  in
+  match raised with
+  | `User msg ->
+    Alcotest.(check bool) "mentions STR001" true
+      (let n = String.length "STR001" and m = String.length msg in
+       let rec go i = i + n <= m && (String.sub msg i n = "STR001" || go (i + 1)) in
+       go 0)
+  | `Factor -> Alcotest.fail "raised Factor.Singular instead of a located User_error"
+  | `None -> Alcotest.fail "structurally singular netlist reduced without error"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+
+let prop_orders_are_permutations =
+  QCheck.Test.make ~count:40 ~name:"rcm/amd: always a valid permutation"
+    (QCheck.make QCheck.Gen.int)
+    (fun seed ->
+      let rng = Linalg.Rng.create seed in
+      let n = 1 + Linalg.Rng.int rng 30 in
+      let a = random_spd rng n (2 * n) in
+      is_permutation n (Sparse.Rcm.order a) && is_permutation n (Sparse.Amd.order a))
+
+let prop_rcm_profile_never_worse =
+  QCheck.Test.make ~count:40 ~name:"rcm: profile never exceeds natural"
+    (QCheck.make QCheck.Gen.int)
+    (fun seed ->
+      let rng = Linalg.Rng.create seed in
+      let n = 1 + Linalg.Rng.int rng 40 in
+      let a = random_spd rng n (3 * n) in
+      let p = Sparse.Csr.permute_sym a (Sparse.Rcm.order a) in
+      Sparse.Csr.profile p <= Sparse.Csr.profile a)
+
+let prop_amd_fill_never_worse =
+  QCheck.Test.make ~count:40 ~name:"amd: predicted fill never exceeds natural"
+    (QCheck.make QCheck.Gen.int)
+    (fun seed ->
+      let rng = Linalg.Rng.create seed in
+      let n = 1 + Linalg.Rng.int rng 40 in
+      let a = random_spd rng n (3 * n) in
+      Sparse.Etree.predicted_nnz a (Sparse.Amd.order a)
+      <= Sparse.Etree.factor_nnz (Sparse.Etree.of_pattern a))
+
+let prop_etree_exact =
+  QCheck.Test.make ~count:40 ~name:"etree: predicted nnz = dense Cholesky nnz"
+    (QCheck.make QCheck.Gen.int)
+    (fun seed ->
+      let rng = Linalg.Rng.create seed in
+      let n = 2 + Linalg.Rng.int rng 24 in
+      let a = random_spd rng n (2 * n) in
+      (* both natural and AMD orderings must be predicted exactly *)
+      let perm = Sparse.Amd.order a in
+      Sparse.Etree.factor_nnz (Sparse.Etree.of_pattern a) = chol_nnz a
+      && Sparse.Etree.predicted_nnz a perm = chol_nnz (Sparse.Csr.permute_sym a perm))
+
+let prop_struct_rank_equals_numerical =
+  QCheck.Test.make ~count:60 ~name:"dm: structural rank = generic numerical rank"
+    (QCheck.make QCheck.Gen.int)
+    (fun seed ->
+      let rng = Linalg.Rng.create seed in
+      let n = 1 + Linalg.Rng.int rng 10 in
+      let tr = Sparse.Triplet.create n n in
+      (* sparse enough that rank-deficient patterns occur regularly;
+         positive generic values so merging duplicates cannot cancel *)
+      for _ = 1 to n + Linalg.Rng.int rng n do
+        let i = Linalg.Rng.int rng n and j = Linalg.Rng.int rng n in
+        Sparse.Triplet.add tr i j (Linalg.Rng.uniform rng 0.5 1.5)
+      done;
+      let a = Sparse.Csr.of_triplet tr in
+      let dm = Sparse.Dm.decompose a in
+      dm.Sparse.Dm.matching.Sparse.Matching.rank = numerical_rank a)
+
+let () =
+  let qsuite =
+    List.map (fun t -> QCheck_alcotest.to_alcotest t)
+      [
+        prop_orders_are_permutations;
+        prop_rcm_profile_never_worse;
+        prop_amd_fill_never_worse;
+        prop_etree_exact;
+        prop_struct_rank_equals_numerical;
+      ]
+  in
+  Alcotest.run "struct"
+    [
+      ( "matching",
+        [
+          Alcotest.test_case "singular pattern" `Quick test_matching_singular;
+          Alcotest.test_case "augmenting path" `Quick test_matching_augmenting;
+          Alcotest.test_case "empty row" `Quick test_matching_empty_row;
+        ] );
+      ( "dm",
+        [
+          Alcotest.test_case "coarse parts" `Quick test_dm_parts;
+          Alcotest.test_case "BTF topological" `Quick test_dm_btf_topological;
+          Alcotest.test_case "decoupled blocks" `Quick test_dm_decoupled;
+        ] );
+      ( "etree",
+        [
+          Alcotest.test_case "arrow matrix" `Quick test_etree_arrow;
+          Alcotest.test_case "matches dense Cholesky" `Quick test_etree_matches_dense_chol;
+        ] );
+      ( "amd",
+        [
+          Alcotest.test_case "heals the arrow" `Quick test_amd_permutation_and_gain;
+          Alcotest.test_case "exact on 500-node mesh" `Quick test_amd_exact_on_grid;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "clean netlist" `Quick test_str_clean;
+          Alcotest.test_case "STR001 located" `Quick test_str001_located;
+          Alcotest.test_case "STR004 capacitor cutset" `Quick test_str004_cap_cutset;
+          Alcotest.test_case "STR007 decoupled" `Quick test_str007_decoupled;
+          Alcotest.test_case "STR006 ordering report" `Quick test_str006_on_grid;
+          Alcotest.test_case "reduce pre-flight" `Quick test_reduce_preflight;
+        ] );
+      ("properties", qsuite);
+    ]
