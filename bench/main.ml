@@ -700,6 +700,134 @@ let tab_h () =
        ~order:multi.Sympvl.Arnoldi.order mna)
 
 (* ------------------------------------------------------------------ *)
+(* ac — the exact-sweep engine: seed path vs symbolic reuse + SoA      *)
+
+(* The seed AC path, replicated verbatim as the baseline the json
+   records: per-point envelope re-analysis, per-entry Csr.get row
+   searches, and the boxed Complex.t functor kernel. *)
+let seed_ac_sweep (m : Circuit.Mna.t) freqs =
+  let pattern = Sparse.Csr.add m.Circuit.Mna.g m.Circuit.Mna.c in
+  let perm = Sparse.Rcm.order pattern in
+  let gp = Sparse.Csr.permute_sym m.Circuit.Mna.g perm in
+  let cp = Sparse.Csr.permute_sym m.Circuit.Mna.c perm in
+  let n = m.Circuit.Mna.n in
+  let p = m.Circuit.Mna.b.Linalg.Mat.cols in
+  let bp = Linalg.Mat.init n p (fun i j -> Linalg.Mat.get m.Circuit.Mna.b perm.(i) j) in
+  let z_at s =
+    let var =
+      match m.Circuit.Mna.variable with
+      | Circuit.Mna.S -> s
+      | Circuit.Mna.S_squared -> Linalg.Cx.(s *: s)
+    in
+    let fg = Sparse.Skyline.envelope_of_csr gp in
+    let fc = Sparse.Skyline.envelope_of_csr cp in
+    let first = Array.init n (fun i -> min fg.(i) fc.(i)) in
+    let get i j =
+      Complex.add
+        { Complex.re = Sparse.Csr.get gp i j; im = 0.0 }
+        (Complex.mul var { Complex.re = Sparse.Csr.get cp i j; im = 0.0 })
+    in
+    let fac = Sparse.Skyline.Complex_sym.factor ~n ~first ~get () in
+    let z = Linalg.Cmat.create p p in
+    for c = 0 to p - 1 do
+      let b = Array.init n (fun i -> Linalg.Cx.re (Linalg.Mat.get bp i c)) in
+      let x = Sparse.Skyline.Complex_sym.solve fac b in
+      for r = 0 to p - 1 do
+        let s_acc = ref Linalg.Cx.zero in
+        for i = 0 to n - 1 do
+          let bi = Linalg.Mat.get bp i r in
+          if bi <> 0.0 then s_acc := Linalg.Cx.(!s_acc +: smul bi x.(i))
+        done;
+        Linalg.Cmat.set z r c !s_acc
+      done
+    done;
+    match m.Circuit.Mna.gain with
+    | Circuit.Mna.Unit -> z
+    | Circuit.Mna.Times_s -> Linalg.Cmat.scale s z
+  in
+  Array.map (fun f -> z_at (Linalg.Cx.im (2.0 *. Float.pi *. f))) freqs
+
+let sweeps_bitwise_equal (a : Simulate.Ac.sweep) (b : Simulate.Ac.sweep) =
+  let eq_f x y = Int64.bits_of_float x = Int64.bits_of_float y in
+  let ok = ref (Array.length a.Simulate.Ac.z = Array.length b.Simulate.Ac.z) in
+  Array.iteri
+    (fun k za ->
+      let zb = b.Simulate.Ac.z.(k) in
+      let p = Array.length a.Simulate.Ac.port_names in
+      for i = 0 to p - 1 do
+        for j = 0 to p - 1 do
+          let x = Linalg.Cmat.get za i j and y = Linalg.Cmat.get zb i j in
+          if not (eq_f x.Complex.re y.Complex.re && eq_f x.Complex.im y.Complex.im) then
+            ok := false
+        done
+      done)
+    a.Simulate.Ac.z;
+  !ok
+
+let ac_bench () =
+  section "AC engine: seed path vs symbolic reuse + SoA kernel, sequential vs pooled";
+  let max_jobs = Parallel.jobs () in
+  let jobs_list = List.sort_uniq compare [ 1; 2; max_jobs ] in
+  let points = if !quick then 12 else 60 in
+  let rows = ref [] in
+  let run_workload name (mna : Circuit.Mna.t) f_lo f_hi =
+    let p = Array.length mna.Circuit.Mna.port_names in
+    let freqs = Simulate.Ac.log_freqs ~points f_lo f_hi in
+    Printf.printf "\n%s: N = %d, p = %d, %d points\n" name mna.Circuit.Mna.n p points;
+    (* determinism gate: the pooled sweep must be bitwise identical to
+       the sequential one at every job count *)
+    let reference = Simulate.Ac.sweep ~jobs:1 mna freqs in
+    let bitwise =
+      List.for_all
+        (fun j -> sweeps_bitwise_equal reference (Simulate.Ac.sweep ~jobs:j mna freqs))
+        jobs_list
+    in
+    Printf.printf "bitwise identical across jobs {%s}: %b\n"
+      (String.concat ", " (List.map string_of_int jobs_list))
+      bitwise;
+    if not bitwise then exit 1;
+    let ns_seed =
+      measure_ns (name ^ "-seed") (fun () -> ignore (seed_ac_sweep mna freqs))
+    in
+    Printf.printf "%-28s %12.1f ns/point\n" "seed (Csr.get + boxed)"
+      (ns_seed /. float_of_int points);
+    rows :=
+      Printf.sprintf
+        "{\"workload\":%S,\"n\":%d,\"ports\":%d,\"points\":%d,\"engine\":\"seed\",\
+         \"jobs\":1,\"ns_per_point\":%.1f,\"speedup_vs_seed\":1.0,\"bitwise_identical\":%b}"
+        name mna.Circuit.Mna.n p points
+        (ns_seed /. float_of_int points)
+        bitwise
+      :: !rows;
+    List.iter
+      (fun jobs ->
+        let ns =
+          measure_ns
+            (Printf.sprintf "%s-j%d" name jobs)
+            (fun () -> ignore (Simulate.Ac.sweep ~jobs mna freqs))
+        in
+        Printf.printf "%-28s %12.1f ns/point (%.2fx vs seed)\n"
+          (Printf.sprintf "soa+reuse, jobs=%d" jobs)
+          (ns /. float_of_int points)
+          (ns_seed /. ns);
+        rows :=
+          Printf.sprintf
+            "{\"workload\":%S,\"n\":%d,\"ports\":%d,\"points\":%d,\
+             \"engine\":\"soa_reuse\",\"jobs\":%d,\"ns_per_point\":%.1f,\
+             \"speedup_vs_seed\":%.2f,\"bitwise_identical\":%b}"
+            name mna.Circuit.Mna.n p points jobs
+            (ns /. float_of_int points)
+            (ns_seed /. ns) bitwise
+          :: !rows)
+      jobs_list
+  in
+  run_workload "package_model" (snd (package_mna ())) 1e8 1e10;
+  run_workload "coupled_rc_bus"
+    (Circuit.Mna.assemble_rc (bus_netlist ()))
+    1e6 1e10;
+  json_out "ac" ("[\n" ^ String.concat ",\n" (List.rev !rows) ^ "\n]\n")
+
+(* ------------------------------------------------------------------ *)
 (* ordering study — symbolic fill prediction vs actual factorisation   *)
 
 let ordering_study () =
@@ -807,26 +935,36 @@ let all_experiments =
     ("tabF", tab_f);
     ("tabG", tab_g);
     ("tabH", tab_h);
+    ("ac", ac_bench);
     ("ordering", ordering_study);
     ("kernels", kernels);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else if a = "--csv" then begin
-          csv_dir := Some "bench/out";
-          false
-        end
-        else true)
-      args
+  (* flag parsing: --quick, --csv, --jobs N / --jobs=N (the pooled AC
+     engine job count; every fig/tab section's exact sweeps use it) *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--csv" :: rest ->
+      csv_dir := Some "bench/out";
+      parse acc rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j -> Parallel.set_jobs j
+      | None -> Printf.eprintf "bad --jobs value %s\n" n);
+      parse acc rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+      | Some j -> Parallel.set_jobs j
+      | None -> Printf.eprintf "bad --jobs value %s\n" a);
+      parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let selected =
     match args with
     | [] -> all_experiments

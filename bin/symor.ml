@@ -32,6 +32,16 @@ let band_arg =
   let doc = "Target band LO,HI in Hz (guides the expansion shift)." in
   Arg.(value & opt (some (pair ~sep:',' float float)) None & info [ "band" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel AC engine (default: $(b,SYMOR_JOBS) if set, \
+     else the machine's recommended domain count minus one; 1 runs sequentially). \
+     Results are bitwise identical at every job count."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs = function None -> () | Some j -> Parallel.set_jobs j
+
 let order_arg =
   let doc = "Reduced order n." in
   Arg.(value & opt int 20 & info [ "n"; "order" ] ~doc)
@@ -217,9 +227,10 @@ let reduce_cmd =
     in
     Arg.(value & flag & info [ "check" ] ~doc)
   in
-  let run verbose path order band synth_out poles check adaptive =
+  let run verbose path order band synth_out poles check adaptive jobs =
    safely @@ fun () ->
     setup_logs verbose;
+    apply_jobs jobs;
     let nl = load path in
     let mna = Circuit.Mna.auto nl in
     let opts = { (Sympvl.Reduce.default ~order) with Sympvl.Reduce.band } in
@@ -309,7 +320,7 @@ let reduce_cmd =
   Cmd.v (Cmd.info "reduce" ~doc)
     Term.(
       const run $ verbose_arg $ netlist_arg $ order_arg $ band_arg $ synth_arg $ poles_arg
-      $ check_arg $ adaptive_arg)
+      $ check_arg $ adaptive_arg $ jobs_arg)
 
 let ac_cmd =
   let points_arg =
@@ -317,8 +328,9 @@ let ac_cmd =
   in
   let flo_arg = Arg.(value & opt float 1e6 & info [ "flo" ] ~doc:"Start frequency, Hz.") in
   let fhi_arg = Arg.(value & opt float 1e10 & info [ "fhi" ] ~doc:"Stop frequency, Hz.") in
-  let run path flo fhi points =
+  let run path flo fhi points jobs =
    safely @@ fun () ->
+    apply_jobs jobs;
     let nl = load path in
     let mna = Circuit.Mna.auto nl in
     let freqs = Simulate.Ac.log_freqs ~points flo fhi in
@@ -344,7 +356,8 @@ let ac_cmd =
       freqs
   in
   let doc = "Exact AC sweep (CSV on stdout)." in
-  Cmd.v (Cmd.info "ac" ~doc) Term.(const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg)
+  Cmd.v (Cmd.info "ac" ~doc)
+    Term.(const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg $ jobs_arg)
 
 let sparams_cmd =
   let points_arg =
@@ -353,8 +366,9 @@ let sparams_cmd =
   let flo_arg = Arg.(value & opt float 1e6 & info [ "flo" ] ~doc:"Start frequency, Hz.") in
   let fhi_arg = Arg.(value & opt float 1e10 & info [ "fhi" ] ~doc:"Stop frequency, Hz.") in
   let z0_arg = Arg.(value & opt float 50.0 & info [ "z0" ] ~doc:"Reference impedance, ohms.") in
-  let run path flo fhi points z0 =
+  let run path flo fhi points z0 jobs =
    safely @@ fun () ->
+    apply_jobs jobs;
     let nl = load path in
     let mna = Circuit.Mna.auto nl in
     let freqs = Simulate.Ac.log_freqs ~points flo fhi in
@@ -382,7 +396,7 @@ let sparams_cmd =
   in
   let doc = "Exact S-parameter sweep (CSV on stdout)." in
   Cmd.v (Cmd.info "sparams" ~doc)
-    Term.(const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg $ z0_arg)
+    Term.(const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg $ z0_arg $ jobs_arg)
 
 let tran_cmd =
   let dt_arg = Arg.(value & opt float 1e-11 & info [ "dt" ] ~doc:"Time step, s.") in

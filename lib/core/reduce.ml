@@ -160,7 +160,10 @@ let to_accuracy ?opts ?max_order ?(points = 25) ~tol ~band (m : Circuit.Mna.t) =
         10.0 ** (log10 f_lo +. (t *. (log10 f_hi -. log10 f_lo))))
   in
   let eval_grid model =
-    Array.map (fun f -> Model.eval model (Linalg.Cx.im (2.0 *. Float.pi *. f))) freqs
+    (* the error-probe grid: points are independent model evaluations,
+       so they run on the shared pool (deterministic at any job count) *)
+    Parallel.Pool.parallel_map (Parallel.get ()) (Array.length freqs) (fun i ->
+        Model.eval model (Linalg.Cx.im (2.0 *. Float.pi *. freqs.(i))))
   in
   let deviation za zb =
     let worst = ref 0.0 in

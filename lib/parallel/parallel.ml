@@ -1,0 +1,175 @@
+module Pool = struct
+  type t = {
+    jobs : int;
+    mutex : Mutex.t;
+    work_ready : Condition.t;
+    work_done : Condition.t;
+    mutable job : (unit -> unit) option; (* every worker runs the same thunk *)
+    mutable generation : int; (* bumped once per submitted batch *)
+    mutable pending : int; (* workers still inside the current batch *)
+    mutable stop : bool;
+    mutable domains : unit Domain.t array;
+    busy : Mutex.t; (* held while a loop runs; nested loops degrade to sequential *)
+  }
+
+  let jobs t = t.jobs
+
+  let rec worker t last_gen =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = last_gen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      let gen = t.generation in
+      let job = match t.job with Some f -> f | None -> fun () -> () in
+      Mutex.unlock t.mutex;
+      (* the thunk traps its own exceptions; this is a backstop so a
+         worker domain can never die and leave a batch hanging *)
+      (try job () with _ -> ());
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex;
+      worker t gen
+    end
+
+  let create ~jobs =
+    let jobs = max 1 jobs in
+    let t =
+      {
+        jobs;
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        job = None;
+        generation = 0;
+        pending = 0;
+        stop = false;
+        domains = [||];
+        busy = Mutex.create ();
+      }
+    in
+    if jobs > 1 then
+      t.domains <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+    t
+
+  let shutdown t =
+    if Array.length t.domains > 0 then begin
+      Mutex.lock t.mutex;
+      t.stop <- true;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      Array.iter Domain.join t.domains;
+      t.domains <- [||]
+    end
+
+  let with_pool ~jobs f =
+    let t = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+  (* run [job] on every worker plus the calling domain, return when all
+     are done. Caller holds [t.busy]. *)
+  let run_batch t job =
+    Mutex.lock t.mutex;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    t.pending <- Array.length t.domains;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    job ();
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex
+
+  let parallel_for t ?chunk n body =
+    if n > 0 then
+      if t.jobs = 1 || n = 1 || Array.length t.domains = 0 || not (Mutex.try_lock t.busy)
+      then
+        for i = 0 to n - 1 do
+          body i
+        done
+      else
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.busy)
+          (fun () ->
+            let chunk =
+              match chunk with
+              | Some c -> max 1 c
+              | None -> max 1 (n / (4 * t.jobs))
+            in
+            let nchunks = (n + chunk - 1) / chunk in
+            let next = Atomic.make 0 in
+            let err = Atomic.make None in
+            let thunk () =
+              let continue = ref true in
+              while !continue do
+                let c = Atomic.fetch_and_add next 1 in
+                if c >= nchunks || Atomic.get err <> None then continue := false
+                else begin
+                  try
+                    for i = c * chunk to min n ((c + 1) * chunk) - 1 do
+                      body i
+                    done
+                  with e ->
+                    let bt = Printexc.get_raw_backtrace () in
+                    ignore (Atomic.compare_and_set err None (Some (e, bt)))
+                end
+              done
+            in
+            run_batch t thunk;
+            match Atomic.get err with
+            | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+            | None -> ())
+
+  let parallel_map t ?chunk n f =
+    if n <= 0 then [||]
+    else begin
+      (* evaluate slot 0 on the caller to seed the result array; the
+         remaining slots are filled in place, so out.(i) = f i holds
+         regardless of which domain computed it *)
+      let out = Array.make n (f 0) in
+      if n > 1 then parallel_for t ?chunk (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+      out
+    end
+end
+
+let default_jobs () =
+  let auto () = max 1 (Domain.recommended_domain_count () - 1) in
+  match Sys.getenv_opt "SYMOR_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | _ -> auto ())
+  | None -> auto ()
+
+let shared : Pool.t option ref = ref None
+
+let requested : int option ref = ref None
+
+let jobs () =
+  match !shared with
+  | Some p -> Pool.jobs p
+  | None -> ( match !requested with Some j -> j | None -> default_jobs ())
+
+let set_jobs j =
+  let j = max 1 j in
+  requested := Some j;
+  match !shared with
+  | Some p when Pool.jobs p <> j ->
+    Pool.shutdown p;
+    shared := None
+  | _ -> ()
+
+let () = at_exit (fun () -> Option.iter Pool.shutdown !shared)
+
+let get () =
+  match !shared with
+  | Some p -> p
+  | None ->
+    let p = Pool.create ~jobs:(jobs ()) in
+    shared := Some p;
+    p

@@ -1,0 +1,60 @@
+(** Fixed domain pool for deterministic data-parallel loops.
+
+    A {!Pool.t} owns [jobs − 1] worker domains (the calling domain is
+    the remaining worker); independent loop iterations are distributed
+    over index chunks claimed from an atomic counter. Results are a
+    pure function of the iteration index, so any computation whose
+    iterations do not communicate produces output {e bitwise identical}
+    to a sequential run at every job count — the pool changes the
+    schedule, never the arithmetic.
+
+    Built on the OCaml 5 stdlib only ([Domain], [Mutex], [Condition],
+    [Atomic]); at [jobs = 1] no domain is ever spawned and every loop
+    degrades to a plain sequential [for]. *)
+
+module Pool : sig
+  type t
+
+  val create : jobs:int -> t
+  (** [create ~jobs] starts a pool of [max 1 jobs] workers
+      ([jobs − 1] spawned domains). *)
+
+  val jobs : t -> int
+
+  val shutdown : t -> unit
+  (** Stop and join the worker domains. Idempotent. The pool must not
+      be used afterwards. *)
+
+  val with_pool : jobs:int -> (t -> 'a) -> 'a
+  (** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+      afterwards (also on exception). *)
+
+  val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+  (** [parallel_for pool n body] runs [body i] for [i ∈ [0, n)],
+      distributing chunks of [chunk] consecutive indices (default
+      [n / (4·jobs)], at least 1) over the workers. Iterations must be
+      independent. The first exception raised by any iteration is
+      re-raised in the caller after all workers have stopped. Nested
+      calls (from inside a [body]) run sequentially rather than
+      deadlock. *)
+
+  val parallel_map : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+  (** [parallel_map pool n f] is [Array.init n f] with the iterations
+      distributed as in {!parallel_for}; slot [i] always holds [f i],
+      so the result is independent of the schedule. *)
+end
+
+val default_jobs : unit -> int
+(** [$SYMOR_JOBS] if set to a positive integer, otherwise
+    [Domain.recommended_domain_count () − 1] (at least 1). *)
+
+val set_jobs : int -> unit
+(** Fix the job count of the shared pool (the [--jobs] CLI flag).
+    Replaces an already-running shared pool. *)
+
+val get : unit -> Pool.t
+(** The lazily-created shared pool, sized by {!set_jobs} if called,
+    else {!default_jobs}. Shut down automatically at exit. *)
+
+val jobs : unit -> int
+(** Job count {!get} uses (without forcing pool creation). *)

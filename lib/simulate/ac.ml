@@ -4,11 +4,19 @@ type sweep = {
   port_names : string array;
 }
 
-(* reusable permuted workspace for repeated complex factorisations *)
+(* Reusable workspace for repeated complex factorisations, split into a
+   one-time symbolic phase and a per-frequency numeric phase:
+   - [env] is the RCM-permuted pencil's merged envelope with the G and
+     C entries pre-scattered into envelope-aligned rows, so each
+     frequency point assembles and factors without touching
+     [Csr.get] or re-running the envelope analysis;
+   - [port_idx]/[port_val] hold, per port, the rows of the permuted B
+     that carry a nonzero entry (and the entries), used both to build
+     the sparse right-hand side and for the BᵀX dot products. *)
 type workspace = {
-  gp : Sparse.Csr.t;
-  cp : Sparse.Csr.t;
-  bp : Linalg.Mat.t;
+  env : Sparse.Skyline.pencil_env;
+  port_idx : int array array;
+  port_val : float array array;
   n : int;
   p : int;
 }
@@ -20,10 +28,21 @@ let workspace (m : Circuit.Mna.t) =
   let cp = Sparse.Csr.permute_sym m.Circuit.Mna.c perm in
   let n = m.Circuit.Mna.n in
   let p = m.Circuit.Mna.b.Linalg.Mat.cols in
-  let bp =
-    Linalg.Mat.init n p (fun i j -> Linalg.Mat.get m.Circuit.Mna.b perm.(i) j)
-  in
-  { gp; cp; bp; n; p }
+  let env = Sparse.Skyline.pencil_env gp cp in
+  let port_idx = Array.make p [||] and port_val = Array.make p [||] in
+  for c = 0 to p - 1 do
+    let idx = ref [] and v = ref [] in
+    for i = n - 1 downto 0 do
+      let bi = Linalg.Mat.get m.Circuit.Mna.b perm.(i) c in
+      if bi <> 0.0 then begin
+        idx := i :: !idx;
+        v := bi :: !v
+      end
+    done;
+    port_idx.(c) <- Array.of_list !idx;
+    port_val.(c) <- Array.of_list !v
+  done;
+  { env; port_idx; port_val; n; p }
 
 let z_at_ws (m : Circuit.Mna.t) ws s =
   let var =
@@ -31,18 +50,26 @@ let z_at_ws (m : Circuit.Mna.t) ws s =
     | Circuit.Mna.S -> s
     | Circuit.Mna.S_squared -> Linalg.Cx.(s *: s)
   in
-  let fac = Sparse.Skyline.factor_complex var ws.gp ws.cp in
+  let fac = Sparse.Skyline.Complex_soa.factor_pencil ws.env var in
   let z = Linalg.Cmat.create ws.p ws.p in
+  let x_re = Array.make ws.n 0.0 and x_im = Array.make ws.n 0.0 in
   for c = 0 to ws.p - 1 do
-    let b = Array.init ws.n (fun i -> Linalg.Cx.re (Linalg.Mat.get ws.bp i c)) in
-    let x = Sparse.Skyline.Complex_sym.solve fac b in
+    Array.fill x_re 0 ws.n 0.0;
+    Array.fill x_im 0 ws.n 0.0;
+    let ci = ws.port_idx.(c) and cv = ws.port_val.(c) in
+    for k = 0 to Array.length ci - 1 do
+      x_re.(ci.(k)) <- cv.(k)
+    done;
+    Sparse.Skyline.Complex_soa.solve_split fac x_re x_im;
     for r = 0 to ws.p - 1 do
-      let s_acc = ref Linalg.Cx.zero in
-      for i = 0 to ws.n - 1 do
-        let bi = Linalg.Mat.get ws.bp i r in
-        if bi <> 0.0 then s_acc := Linalg.Cx.(!s_acc +: smul bi x.(i))
+      let ri = ws.port_idx.(r) and rv = ws.port_val.(r) in
+      let sre = ref 0.0 and sim = ref 0.0 in
+      for k = 0 to Array.length ri - 1 do
+        let i = ri.(k) in
+        sre := !sre +. (rv.(k) *. x_re.(i));
+        sim := !sim +. (rv.(k) *. x_im.(i))
       done;
-      Linalg.Cmat.set z r c !s_acc
+      Linalg.Cmat.set z r c { Complex.re = !sre; im = !sim }
     done
   done;
   match m.Circuit.Mna.gain with
@@ -51,12 +78,20 @@ let z_at_ws (m : Circuit.Mna.t) ws s =
 
 let z_at m s = z_at_ws m (workspace m) s
 
-let sweep (m : Circuit.Mna.t) freqs =
+let sweep ?jobs (m : Circuit.Mna.t) freqs =
   let ws = workspace m in
+  let point k = z_at_ws m ws (Linalg.Cx.im (2.0 *. Float.pi *. freqs.(k))) in
+  (* every point is independent and written into its own slot, so the
+     result is bitwise identical at any job count *)
   let z =
-    Array.map
-      (fun f -> z_at_ws m ws (Linalg.Cx.im (2.0 *. Float.pi *. f)))
-      freqs
+    match jobs with
+    | Some j ->
+      if j <= 1 then Array.init (Array.length freqs) point
+      else
+        Parallel.Pool.with_pool ~jobs:j (fun pool ->
+            Parallel.Pool.parallel_map pool (Array.length freqs) point)
+    | None ->
+      Parallel.Pool.parallel_map (Parallel.get ()) (Array.length freqs) point
   in
   { freqs; z; port_names = m.Circuit.Mna.port_names }
 
@@ -68,7 +103,8 @@ let log_freqs ?(points = 200) f_lo f_hi =
       10.0 ** (lg_lo +. (t *. (lg_hi -. lg_lo))))
 
 let model_sweep eval freqs =
-  Array.map (fun f -> eval (Linalg.Cx.im (2.0 *. Float.pi *. f))) freqs
+  Parallel.Pool.parallel_map (Parallel.get ()) (Array.length freqs) (fun k ->
+      eval (Linalg.Cx.im (2.0 *. Float.pi *. freqs.(k))))
 
 let max_rel_error sw zs =
   assert (Array.length zs = Array.length sw.z);

@@ -3,9 +3,14 @@
     Computes the multi-port transfer function [Z(s)] of an assembled
     MNA pencil by direct complex-symmetric factorisation of
     [(G + var·C)] at each frequency point — the "exact analysis"
-    reference curves of the paper's Figures 2–4. An RCM ordering is
-    computed once; each frequency point costs one skyline
-    factorisation plus [p] solves. *)
+    reference curves of the paper's Figures 2–4.
+
+    The sweep is split into a one-time symbolic phase (RCM ordering,
+    merged envelope, G/C pre-scatter, per-port sparse B patterns) and
+    a per-frequency numeric phase running the split-complex (SoA)
+    skyline kernel; frequency points are distributed over the shared
+    {!Parallel} pool. Every point is independent, so the sweep output
+    is bitwise identical to a sequential run at any job count. *)
 
 type sweep = {
   freqs : float array;  (** In Hz. *)
@@ -13,12 +18,26 @@ type sweep = {
   port_names : string array;
 }
 
+type workspace
+(** Reusable symbolic phase of the sweep: RCM ordering, merged
+    envelope with pre-scattered G/C rows, per-port sparse B patterns.
+    Build once with {!workspace}; each {!z_at_ws} call is then a pure
+    numeric factor + solve. *)
+
+val workspace : Circuit.Mna.t -> workspace
+
+val z_at_ws : Circuit.Mna.t -> workspace -> Complex.t -> Linalg.Cmat.t
+(** [z_at_ws m ws s] — {!z_at} against a precomputed symbolic phase. *)
+
 val z_at : Circuit.Mna.t -> Complex.t -> Linalg.Cmat.t
 (** [z_at m s] evaluates the exact [Z(s)] at one physical complex
     frequency (gain and variable conventions as in {!Sympvl.Model.eval}). *)
 
-val sweep : Circuit.Mna.t -> float array -> sweep
-(** [sweep m freqs] evaluates along the [jω] axis. *)
+val sweep : ?jobs:int -> Circuit.Mna.t -> float array -> sweep
+(** [sweep m freqs] evaluates along the [jω] axis. [jobs] overrides
+    the shared pool with a private one of that size for this sweep
+    ([jobs = 1] forces plain sequential evaluation); without it the
+    shared {!Parallel.get} pool is used. *)
 
 val log_freqs : ?points:int -> float -> float -> float array
 (** [log_freqs f_lo f_hi] — logarithmically spaced frequency grid

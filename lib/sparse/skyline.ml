@@ -149,19 +149,167 @@ let envelope_of_csr a =
   done;
   first
 
-let factor_real ?pivot_tol a =
-  assert (a.Csr.rows = a.Csr.cols);
-  let first = envelope_of_csr a in
-  Real.factor ?pivot_tol ~n:a.Csr.rows ~first ~get:(fun i j -> Csr.get a i j) ()
+(* scatter the lower triangle (plus diagonal) of a symmetric CSR matrix
+   into envelope-aligned rows: row i spans columns first.(i) .. i, with
+   the diagonal in the last slot. One pass over the stored entries — no
+   per-entry row search. *)
+let scatter_env n first a =
+  let rows = Array.init n (fun i -> Array.make (i - first.(i) + 1) 0.0) in
+  for i = 0 to n - 1 do
+    Csr.iter_row a i (fun j v ->
+        if j <= i then rows.(i).(j - first.(i)) <- v
+        else rows.(j).(i - first.(j)) <- v)
+  done;
+  rows
 
-let factor_complex ?pivot_tol s g c =
+type pencil_env = {
+  pe_n : int;
+  pe_first : int array; (* merged G/C envelope *)
+  pe_g : float array array; (* G(i, first.(i) .. i), diagonal last *)
+  pe_c : float array array; (* C, same layout *)
+}
+
+let pencil_env g c =
   assert (g.Csr.rows = g.Csr.cols && c.Csr.rows = c.Csr.cols && g.Csr.rows = c.Csr.rows);
   let fg = envelope_of_csr g and fc = envelope_of_csr c in
   let n = g.Csr.rows in
   let first = Array.init n (fun i -> min fg.(i) fc.(i)) in
+  { pe_n = n; pe_first = first; pe_g = scatter_env n first g; pe_c = scatter_env n first c }
+
+let factor_real ?pivot_tol a =
+  assert (a.Csr.rows = a.Csr.cols);
+  let n = a.Csr.rows in
+  let first = envelope_of_csr a in
+  let rows = scatter_env n first a in
+  Real.factor ?pivot_tol ~n ~first ~get:(fun i j -> rows.(i).(j - first.(i))) ()
+
+let factor_complex_env ?pivot_tol env s =
+  let first = env.pe_first in
   let get i j =
+    let k = j - first.(i) in
     Complex.add
-      { Complex.re = Csr.get g i j; im = 0.0 }
-      (Complex.mul s { Complex.re = Csr.get c i j; im = 0.0 })
+      { Complex.re = env.pe_g.(i).(k); im = 0.0 }
+      (Complex.mul s { Complex.re = env.pe_c.(i).(k); im = 0.0 })
   in
-  Complex_sym.factor ?pivot_tol ~n ~first ~get ()
+  Complex_sym.factor ?pivot_tol ~n:env.pe_n ~first ~get ()
+
+let factor_complex ?pivot_tol s g c = factor_complex_env ?pivot_tol (pencil_env g c) s
+
+(* Split-complex (SoA) specialisation of the complex-symmetric LDLᵀ:
+   re/im live in separate float arrays, so the recurrences run on
+   unboxed floats instead of boxed Complex.t. Used by the AC hot path;
+   Complex_sym stays as the reference oracle. *)
+module Complex_soa = struct
+  type t = {
+    n : int;
+    first : int array;
+    rows_re : float array array; (* L(i, first.(i) .. i-1) *)
+    rows_im : float array array;
+    diag_re : float array; (* D *)
+    diag_im : float array;
+  }
+
+  let dim t = t.n
+
+  let fill t = Array.fold_left (fun acc r -> acc + Array.length r) 0 t.rows_re
+
+  let d t = Array.init t.n (fun i -> { Complex.re = t.diag_re.(i); im = t.diag_im.(i) })
+
+  let factor_pencil ?(pivot_tol = 1e-14) env s =
+    let n = env.pe_n and first = env.pe_first in
+    let s_re = s.Complex.re and s_im = s.Complex.im in
+    let rows_re = Array.init n (fun i -> Array.make (i - first.(i)) 0.0) in
+    let rows_im = Array.init n (fun i -> Array.make (i - first.(i)) 0.0) in
+    let diag_re = Array.make n 0.0 and diag_im = Array.make n 0.0 in
+    (* numeric assembly A = G + s·C straight into the factor storage;
+       the strictly-lower slots are overwritten in place by L below *)
+    for i = 0 to n - 1 do
+      let ge = env.pe_g.(i) and ce = env.pe_c.(i) in
+      let rre = rows_re.(i) and rim = rows_im.(i) in
+      let len = i - first.(i) in
+      for k = 0 to len - 1 do
+        rre.(k) <- ge.(k) +. (s_re *. ce.(k));
+        rim.(k) <- s_im *. ce.(k)
+      done;
+      diag_re.(i) <- ge.(len) +. (s_re *. ce.(len));
+      diag_im.(i) <- s_im *. ce.(len)
+    done;
+    let dmax = ref 0.0 in
+    for i = 0 to n - 1 do
+      dmax := Float.max !dmax (Float.hypot diag_re.(i) diag_im.(i))
+    done;
+    let breakdown = pivot_tol *. !dmax in
+    for i = 0 to n - 1 do
+      let fi = first.(i) in
+      let rire = rows_re.(i) and riim = rows_im.(i) in
+      for j = fi to i - 1 do
+        let fj = first.(j) in
+        let rjre = rows_re.(j) and rjim = rows_im.(j) in
+        let sre = ref rire.(j - fi) and sim = ref riim.(j - fi) in
+        for k = max fi fj to j - 1 do
+          (* s -= L(i,k) · D(k) · L(j,k) *)
+          let are = rire.(k - fi) and aim = riim.(k - fi) in
+          let bre = diag_re.(k) and bim = diag_im.(k) in
+          let tre = (are *. bre) -. (aim *. bim) in
+          let tim = (are *. bim) +. (aim *. bre) in
+          let cre = rjre.(k - fj) and cim = rjim.(k - fj) in
+          sre := !sre -. ((tre *. cre) -. (tim *. cim));
+          sim := !sim -. ((tre *. cim) +. (tim *. cre))
+        done;
+        let dre = diag_re.(j) and dim = diag_im.(j) in
+        let den = (dre *. dre) +. (dim *. dim) in
+        rire.(j - fi) <- ((!sre *. dre) +. (!sim *. dim)) /. den;
+        riim.(j - fi) <- ((!sim *. dre) -. (!sre *. dim)) /. den
+      done;
+      let sre = ref diag_re.(i) and sim = ref diag_im.(i) in
+      for k = fi to i - 1 do
+        (* s -= L(i,k)² · D(k) *)
+        let lre = rire.(k - fi) and lim = riim.(k - fi) in
+        let l2re = (lre *. lre) -. (lim *. lim) in
+        let l2im = 2.0 *. lre *. lim in
+        let bre = diag_re.(k) and bim = diag_im.(k) in
+        sre := !sre -. ((l2re *. bre) -. (l2im *. bim));
+        sim := !sim -. ((l2re *. bim) +. (l2im *. bre))
+      done;
+      if Float.hypot !sre !sim <= breakdown then raise (Singular i);
+      diag_re.(i) <- !sre;
+      diag_im.(i) <- !sim
+    done;
+    { n; first; rows_re; rows_im; diag_re; diag_im }
+
+  let solve_split t b_re b_im =
+    assert (Array.length b_re = t.n && Array.length b_im = t.n);
+    (* forward substitution with unit-lower L, in place *)
+    for i = 0 to t.n - 1 do
+      let fi = t.first.(i) in
+      let rre = t.rows_re.(i) and rim = t.rows_im.(i) in
+      let sre = ref b_re.(i) and sim = ref b_im.(i) in
+      for k = fi to i - 1 do
+        let lre = rre.(k - fi) and lim = rim.(k - fi) in
+        let yre = b_re.(k) and yim = b_im.(k) in
+        sre := !sre -. ((lre *. yre) -. (lim *. yim));
+        sim := !sim -. ((lre *. yim) +. (lim *. yre))
+      done;
+      b_re.(i) <- !sre;
+      b_im.(i) <- !sim
+    done;
+    (* diagonal *)
+    for i = 0 to t.n - 1 do
+      let dre = t.diag_re.(i) and dim = t.diag_im.(i) in
+      let den = (dre *. dre) +. (dim *. dim) in
+      let yre = b_re.(i) and yim = b_im.(i) in
+      b_re.(i) <- ((yre *. dre) +. (yim *. dim)) /. den;
+      b_im.(i) <- ((yim *. dre) -. (yre *. dim)) /. den
+    done;
+    (* back substitution with Lᵀ *)
+    for i = t.n - 1 downto 0 do
+      let fi = t.first.(i) in
+      let rre = t.rows_re.(i) and rim = t.rows_im.(i) in
+      let yre = b_re.(i) and yim = b_im.(i) in
+      for k = fi to i - 1 do
+        let lre = rre.(k - fi) and lim = rim.(k - fi) in
+        b_re.(k) <- b_re.(k) -. ((lre *. yre) -. (lim *. yim));
+        b_im.(k) <- b_im.(k) -. ((lre *. yim) +. (lim *. yre))
+      done
+    done
+end

@@ -69,10 +69,57 @@ val envelope_of_csr : Csr.t -> int array
 (** First-nonzero-column array (clipped to the diagonal) of a
     symmetric CSR matrix — the [first] argument for [factor]. *)
 
+type pencil_env = {
+  pe_n : int;
+  pe_first : int array;  (** Merged [G]/[C] envelope. *)
+  pe_g : float array array;
+      (** Row [i] holds [G(i, first.(i) .. i)], diagonal in the last slot. *)
+  pe_c : float array array;  (** [C], same layout. *)
+}
+(** Symbolic phase of a pencil factorisation: the merged envelope of
+    [G] and [C] with both matrices pre-scattered into envelope-aligned
+    rows. Computed once, it makes every subsequent numeric
+    factorisation of [G + sC] free of pattern analysis and of
+    per-entry {!Csr.get} row searches. *)
+
+val pencil_env : Csr.t -> Csr.t -> pencil_env
+(** [pencil_env g c] — one pass over each matrix's stored entries. *)
+
 val factor_real : ?pivot_tol:float -> Csr.t -> Real.t
-(** Convenience: envelope + factor of a symmetric real CSR matrix. *)
+(** Convenience: envelope + factor of a symmetric real CSR matrix.
+    Assembly reads pre-scattered envelope rows (no [Csr.get]). *)
 
 val factor_complex :
   ?pivot_tol:float -> Complex.t -> Csr.t -> Csr.t -> Complex_sym.t
 (** [factor_complex s g c] factors [G + sC] (complex symmetric). The
-    envelope is the union of both patterns. *)
+    envelope is the union of both patterns. Delegates to
+    {!factor_complex_env} on a freshly built {!pencil_env}. *)
+
+val factor_complex_env :
+  ?pivot_tol:float -> pencil_env -> Complex.t -> Complex_sym.t
+(** Numeric phase against a reused symbolic phase — the boxed
+    reference kernel ({!Complex_sym}). *)
+
+(** Split-complex (structure-of-arrays) specialisation of
+    {!Complex_sym}: the same LDLᵀ recurrences with re/im stored in
+    separate unboxed [float array]s. This is the AC-path production
+    kernel; {!Complex_sym} remains the oracle it is tested against. *)
+module Complex_soa : sig
+  type t
+
+  val factor_pencil : ?pivot_tol:float -> pencil_env -> Complex.t -> t
+  (** Factor [G + sC] from a precomputed symbolic phase. Raises
+      {!Singular} under the same relative pivot test as the generic
+      kernel. *)
+
+  val solve_split : t -> float array -> float array -> unit
+  (** [solve_split fac re im] solves [A x = b] in place on the split
+      right-hand side ([re], [im]). *)
+
+  val dim : t -> int
+
+  val d : t -> Complex.t array
+  (** The diagonal of [D]. *)
+
+  val fill : t -> int
+end
