@@ -921,6 +921,96 @@ let kernels () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* observability gates — disabled probes must allocate nothing, and    *)
+(* enabling tracing must not perturb the pooled sweep                  *)
+
+let obs_gate () =
+  section "Observability: zero-allocation gate + tracing-on determinism";
+  (* gate 1: with tracing disabled every probe is a load-and-branch.
+     The countf/instant sites follow the repo convention of a
+     [tracing ()] guard so their float/list arguments are never built;
+     span_begin/count take only immediates and statics and are called
+     unguarded, exactly as the hot paths do. *)
+  Obs.disable ();
+  Obs.reset ();
+  let iters = 1_000_000 in
+  let before = Gc.allocated_bytes () in
+  for i = 0 to iters - 1 do
+    Obs.span_begin "gate.span";
+    Obs.count "gate.count" i;
+    if Obs.tracing () then Obs.countf "gate.countf" (float_of_int i);
+    if Obs.tracing () then Obs.instant ~args:[ ("i", Obs.Int i) ] "gate.instant";
+    Obs.span_end ()
+  done;
+  let alloc_bytes = Gc.allocated_bytes () -. before in
+  Printf.printf "disabled probes: %d iterations, %.0f bytes allocated\n" iters
+    alloc_bytes;
+  if alloc_bytes > 1024.0 then begin
+    Printf.eprintf "FAIL: disabled probes allocate (%.0f bytes > 1024)\n" alloc_bytes;
+    exit 1
+  end;
+  let ns_probe =
+    measure_ns "disabled-probe" (fun () ->
+        Obs.span_begin "gate.span";
+        Obs.count "gate.count" 1;
+        Obs.span_end ())
+  in
+  Printf.printf "disabled probe triple: %.2f ns\n" ns_probe;
+  (* gate 2: the acceptance criterion — pooled Ac.sweep stays bitwise
+     identical at jobs 1/2/4 *with tracing on* (per-domain buffers,
+     merge at join; see lib/obs). *)
+  let mna = Circuit.Mna.assemble_rc (bus_netlist ()) in
+  let points = if !quick then 8 else 24 in
+  let freqs = Simulate.Ac.log_freqs ~points 1e6 1e10 in
+  let ns_off =
+    measure_ns "sweep-obs-off" (fun () -> ignore (Simulate.Ac.sweep ~jobs:1 mna freqs))
+  in
+  Obs.enable ();
+  let reference = Simulate.Ac.sweep ~jobs:1 mna freqs in
+  let jobs_list = [ 2; 4 ] in
+  let bitwise =
+    List.for_all
+      (fun j -> sweeps_bitwise_equal reference (Simulate.Ac.sweep ~jobs:j mna freqs))
+      jobs_list
+  in
+  Printf.printf "tracing ON: N = %d, %d points, bitwise identical across jobs {1, 2, 4}: %b\n"
+    mna.Circuit.Mna.n points bitwise;
+  if not bitwise then begin
+    Printf.eprintf "FAIL: tracing perturbed the pooled sweep\n";
+    exit 1
+  end;
+  (* sanity: the instrumented phases actually recorded *)
+  let recorded = List.map (fun st -> st.Obs.span_name) (Obs.span_stats ()) in
+  List.iter
+    (fun name ->
+      if not (List.mem name recorded) then begin
+        Printf.eprintf "FAIL: no '%s' spans recorded with tracing on\n" name;
+        exit 1
+      end)
+    [ "ac.sweep"; "ac.point"; "ac.solve"; "ac.symbolic"; "skyline.numeric" ];
+  if Obs.counter_value "ac.points" <= 0.0 then begin
+    Printf.eprintf "FAIL: ac.points counter never incremented\n";
+    exit 1
+  end;
+  let ns_on =
+    measure_ns "sweep-obs-on" (fun () -> ignore (Simulate.Ac.sweep ~jobs:1 mna freqs))
+  in
+  Obs.disable ();
+  Obs.reset ();
+  let per_point ns = ns /. float_of_int points in
+  let overhead_pct = 100.0 *. ((ns_on /. ns_off) -. 1.0) in
+  Printf.printf "sequential sweep: %.1f ns/point off, %.1f ns/point on (%+.2f%% when enabled)\n"
+    (per_point ns_off) (per_point ns_on) overhead_pct;
+  json_out "obs"
+    (Printf.sprintf
+       "{\"disabled_probe_iters\":%d,\"disabled_probe_alloc_bytes\":%.0f,\
+        \"disabled_probe_ns\":%.2f,\"bitwise_identical_tracing_on\":%b,\
+        \"ns_per_point_off\":%.1f,\"ns_per_point_on\":%.1f,\
+        \"enabled_overhead_pct\":%.2f}\n"
+       iters alloc_bytes ns_probe bitwise (per_point ns_off) (per_point ns_on)
+       overhead_pct)
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -938,6 +1028,7 @@ let all_experiments =
     ("ac", ac_bench);
     ("ordering", ordering_study);
     ("kernels", kernels);
+    ("obs", obs_gate);
   ]
 
 let () =

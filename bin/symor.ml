@@ -42,6 +42,36 @@ let jobs_arg =
 
 let apply_jobs = function None -> () | Some j -> Parallel.set_jobs j
 
+let trace_arg =
+  let doc =
+    "Record an execution trace (spans, counters, deflation/escalation events) and \
+     write it to $(docv) in Chrome-trace JSON — load it in chrome://tracing or \
+     ui.perfetto.dev. Tracing never changes results: pooled sweeps stay bitwise \
+     identical at every job count."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT.json" ~doc)
+
+let stats_arg =
+  let doc =
+    "Print an observability summary to stderr after the run: per-span call counts \
+     and wall time, counters (deflations, factor nnz, flop estimates, AC points) \
+     and gauges. See the README counter glossary."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* enable tracing before the work, export/summarise after it. The
+   stats table goes to stderr so it never corrupts CSV on stdout. *)
+let with_obs trace stats f =
+  if trace <> None || stats then Obs.enable ();
+  let r = f () in
+  Option.iter
+    (fun path ->
+      Obs.write_trace path;
+      Printf.eprintf "trace written to %s\n%!" path)
+    trace;
+  if stats then prerr_string (Obs.stats_table ());
+  r
+
 let order_arg =
   let doc = "Reduced order n." in
   Arg.(value & opt int 20 & info [ "n"; "order" ] ~doc)
@@ -227,10 +257,11 @@ let reduce_cmd =
     in
     Arg.(value & flag & info [ "check" ] ~doc)
   in
-  let run verbose path order band synth_out poles check adaptive jobs =
+  let run verbose path order band synth_out poles check adaptive jobs trace stats =
    safely @@ fun () ->
     setup_logs verbose;
     apply_jobs jobs;
+    with_obs trace stats @@ fun () ->
     let nl = load path in
     let mna = Circuit.Mna.auto nl in
     let opts = { (Sympvl.Reduce.default ~order) with Sympvl.Reduce.band } in
@@ -320,7 +351,7 @@ let reduce_cmd =
   Cmd.v (Cmd.info "reduce" ~doc)
     Term.(
       const run $ verbose_arg $ netlist_arg $ order_arg $ band_arg $ synth_arg $ poles_arg
-      $ check_arg $ adaptive_arg $ jobs_arg)
+      $ check_arg $ adaptive_arg $ jobs_arg $ trace_arg $ stats_arg)
 
 let ac_cmd =
   let points_arg =
@@ -328,9 +359,10 @@ let ac_cmd =
   in
   let flo_arg = Arg.(value & opt float 1e6 & info [ "flo" ] ~doc:"Start frequency, Hz.") in
   let fhi_arg = Arg.(value & opt float 1e10 & info [ "fhi" ] ~doc:"Stop frequency, Hz.") in
-  let run path flo fhi points jobs =
+  let run path flo fhi points jobs trace stats =
    safely @@ fun () ->
     apply_jobs jobs;
+    with_obs trace stats @@ fun () ->
     let nl = load path in
     let mna = Circuit.Mna.auto nl in
     let freqs = Simulate.Ac.log_freqs ~points flo fhi in
@@ -357,7 +389,9 @@ let ac_cmd =
   in
   let doc = "Exact AC sweep (CSV on stdout)." in
   Cmd.v (Cmd.info "ac" ~doc)
-    Term.(const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg $ jobs_arg)
+    Term.(
+      const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg $ jobs_arg $ trace_arg
+      $ stats_arg)
 
 let sparams_cmd =
   let points_arg =
@@ -366,9 +400,10 @@ let sparams_cmd =
   let flo_arg = Arg.(value & opt float 1e6 & info [ "flo" ] ~doc:"Start frequency, Hz.") in
   let fhi_arg = Arg.(value & opt float 1e10 & info [ "fhi" ] ~doc:"Stop frequency, Hz.") in
   let z0_arg = Arg.(value & opt float 50.0 & info [ "z0" ] ~doc:"Reference impedance, ohms.") in
-  let run path flo fhi points z0 jobs =
+  let run path flo fhi points z0 jobs trace stats =
    safely @@ fun () ->
     apply_jobs jobs;
+    with_obs trace stats @@ fun () ->
     let nl = load path in
     let mna = Circuit.Mna.auto nl in
     let freqs = Simulate.Ac.log_freqs ~points flo fhi in
@@ -396,7 +431,9 @@ let sparams_cmd =
   in
   let doc = "Exact S-parameter sweep (CSV on stdout)." in
   Cmd.v (Cmd.info "sparams" ~doc)
-    Term.(const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg $ z0_arg $ jobs_arg)
+    Term.(
+      const run $ netlist_arg $ flo_arg $ fhi_arg $ points_arg $ z0_arg $ jobs_arg
+      $ trace_arg $ stats_arg)
 
 let tran_cmd =
   let dt_arg = Arg.(value & opt float 1e-11 & info [ "dt" ] ~doc:"Time step, s.") in

@@ -26,6 +26,14 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
   let nn = start.Linalg.Mat.rows in
   let p = start.Linalg.Mat.cols in
   assert (p >= 1 && n_max >= 1 && Array.length j = nn);
+  let run_open = Obs.tracing () in
+  if run_open then
+    Obs.span_begin
+      ~args:[ ("N", Obs.Int nn); ("p", Obs.Int p); ("n_max", Obs.Int n_max) ]
+      "lanczos.run";
+  (* per-step span bookkeeping: the step span must close even when the
+     process bails out of the middle of a step (Krylov exhaustion) *)
+  let step_open = ref false in
   let j_dot x y = Linalg.Vec.dot3 x j y in
   (* storage; paper index n is 1-based: vs.(n-1) = v_n *)
   let vs = Array.make n_max [||] in
@@ -87,12 +95,18 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
      while !nv < n_max do
        incr n;
        let n_cur = !n in
+       if Obs.tracing () then begin
+         Obs.span_begin ~args:[ ("step", Obs.Int n_cur) ] "lanczos.step";
+         step_open := true
+       end;
        (* ---- step 1: deflate-or-accept loop ---- *)
        let accepted = ref None in
        while !accepted = None do
          match !cands with
          | [] ->
            exhausted := true;
+           if Obs.tracing () then
+             Obs.instant ~args:[ ("step", Obs.Int n_cur) ] "lanczos.exhausted";
            raise Exit
          | head :: rest ->
            let phi = n_cur - pc () in
@@ -108,6 +122,18 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
            let nrm = Linalg.Vec.norm2 head.vec in
            if nrm > dtol *. head.norm0 then begin
              (* 1h: accept and normalise *)
+             if Obs.tracing () && nrm <= 10.0 *. dtol *. head.norm0 then begin
+               (* breakdown near-miss: accepted within one decade of the
+                  deflation threshold *)
+               Obs.count "lanczos.near_deflations" 1;
+               Obs.instant
+                 ~args:
+                   [
+                     ("step", Obs.Int n_cur);
+                     ("margin", Obs.Float (nrm /. Float.max (dtol *. head.norm0) 1e-300));
+                   ]
+                 "lanczos.near_deflation"
+             end;
              add_t n_cur phi nrm;
              let v = Linalg.Vec.scale (1.0 /. nrm) head.vec in
              vs.(n_cur - 1) <- v;
@@ -119,8 +145,20 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
            else begin
              (* deflate *)
              deflations := n_cur :: !deflations;
+             if Obs.tracing () then begin
+               Obs.count "lanczos.deflations" 1;
+               Obs.instant
+                 ~args:
+                   [
+                     ("step", Obs.Int n_cur);
+                     ("margin", Obs.Float (nrm /. Float.max (dtol *. head.norm0) 1e-300));
+                   ]
+                 "lanczos.deflation"
+             end;
              if pc () = 1 then begin
                exhausted := true;
+               if Obs.tracing () then
+                 Obs.instant ~args:[ ("step", Obs.Int n_cur) ] "lanczos.exhausted";
                raise Exit
              end;
              if phi > 0 && nrm > 0.0 then begin
@@ -152,6 +190,13 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
        (match closeable with
        | Some lu ->
          cg.gram_lu <- Some lu;
+         if Obs.tracing () then begin
+           Obs.count "lanczos.clusters_closed" 1;
+           if msize > 1 then
+             Obs.instant
+               ~args:[ ("step", Obs.Int n_cur); ("size", Obs.Int msize) ]
+               "lanczos.cluster_closed"
+         end;
          (* 2c: J-orthogonalise the remaining candidates against the
             cluster just closed. Candidate at queue position q is
             v̂_{n+1+q} with paper column (n+1+q) − p_c, where the block
@@ -163,7 +208,14 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
            !cands;
          (* 2d: open a fresh cluster *)
          new_cluster ()
-       | None -> incr look_ahead_steps);
+       | None ->
+         incr look_ahead_steps;
+         if Obs.tracing () then begin
+           Obs.count "lanczos.look_ahead_steps" 1;
+           Obs.instant
+             ~args:[ ("step", Obs.Int n_cur); ("cluster_size", Obs.Int msize) ]
+             "lanczos.look_ahead"
+         end);
        (* ---- step 3: new candidate v = F v_n. Runs on the final
           iteration too: its orthogonalisation coefficients are the
           last column of Tₙ. ---- *)
@@ -189,9 +241,14 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
            ()
          end;
          cands := !cands @ [ { vec = v; norm0 } ]
+       end;
+       if !step_open then begin
+         Obs.span_end ();
+         step_open := false
        end
      done
    with Exit -> ());
+  if !step_open then Obs.span_end ();
   let order = !nv in
   (* assemble outputs at the achieved order *)
   let vectors = Linalg.Mat.create nn order in
@@ -219,6 +276,12 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
         order !p1
         (List.length !deflations)
         n_clusters !look_ahead_steps);
+  if run_open then begin
+    Obs.gauge "lanczos.order" (float_of_int order);
+    Obs.gauge "lanczos.p1" (float_of_int !p1);
+    Obs.gauge "lanczos.clusters" (float_of_int n_clusters);
+    Obs.span_end ()
+  end;
   {
     vectors;
     t_mat;

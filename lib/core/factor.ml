@@ -50,14 +50,33 @@ let of_skyline n perm fac =
 let of_csr ?(ordering = true) ?pivot_tol a =
   assert (a.Sparse.Csr.rows = a.Sparse.Csr.cols);
   let n = a.Sparse.Csr.rows in
+  (* symbolic phase: fill-reducing ordering + symmetric permutation *)
+  if Obs.tracing () then Obs.span_begin ~args:[ ("n", Obs.Int n) ] "factor.symbolic";
   let perm = if ordering then Sparse.Rcm.order a else Sparse.Rcm.identity n in
   let pa = Sparse.Csr.permute_sym a perm in
+  if Obs.tracing () then begin
+    Obs.span_end ();
+    (* numeric phase: envelope scatter + LDLᵀ recurrence *)
+    Obs.span_begin "factor.numeric"
+  end;
   match Sparse.Skyline.factor_real ?pivot_tol pa with
-  | fac -> of_skyline n perm fac
-  | exception Sparse.Skyline.Singular i -> raise (Singular i)
+  | fac ->
+    if Obs.tracing () then begin
+      Obs.count "factor.count" 1;
+      Obs.count "factor.nnz" (Sparse.Skyline.Real.fill fac);
+      Obs.span_end ()
+    end;
+    of_skyline n perm fac
+  | exception Sparse.Skyline.Singular i ->
+    if Obs.tracing () then begin
+      Obs.instant ~args:[ ("pivot", Obs.Int i) ] "factor.breakdown";
+      Obs.span_end ()
+    end;
+    raise (Singular i)
 
 let of_dense a =
   let n = a.Linalg.Mat.rows in
+  Obs.with_span "factor.dense" @@ fun () ->
   match Linalg.Ldlt.factor a with
   | fac ->
     {

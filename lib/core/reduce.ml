@@ -113,6 +113,7 @@ let run_with_factor (m : Circuit.Mna.t) opts shift fac =
    Lanczos result so the contract checker can audit them *)
 let mna_internal ?opts ~order (m : Circuit.Mna.t) =
   let opts = match opts with Some o -> o | None -> default ~order in
+  Obs.with_span "reduce.mna" @@ fun () ->
   check_structure m;
   match opts.shift with
   | Some s0 ->
@@ -128,6 +129,8 @@ let mna_internal ?opts ~order (m : Circuit.Mna.t) =
         match opts.band with Some band -> band_shift m band | None -> auto_shift m
       in
       Log.info (fun f -> f "G singular; retrying with automatic shift s0 = %g" s0);
+      if Obs.tracing () then
+        Obs.instant ~args:[ ("shift", Obs.Float s0) ] "reduce.shift_retry";
       let fac =
         Factor.with_shift ~ordering:opts.ordering m.Circuit.Mna.g m.Circuit.Mna.c s0
       in
@@ -179,12 +182,22 @@ let to_accuracy ?opts ?max_order ?(points = 25) ~tol ~band (m : Circuit.Mna.t) =
     let o = { base with order; band = Some band } in
     mna ~opts:o ~order m
   in
+  Obs.with_span "reduce.adaptive" @@ fun () ->
   let rec grow order _prev prev_grid =
     let order = min order max_order in
     let model = build order in
     let grid = eval_grid model in
     let dev = deviation prev_grid grid in
-    if dev <= tol || order >= max_order || model.Model.exhausted then (model, dev)
+    if Obs.tracing () then begin
+      Obs.count "reduce.escalations" 1;
+      Obs.instant
+        ~args:[ ("order", Obs.Int model.Model.order); ("deviation", Obs.Float dev) ]
+        "reduce.escalate"
+    end;
+    if dev <= tol || order >= max_order || model.Model.exhausted then begin
+      if Obs.tracing () then Obs.gauge "reduce.final_order" (float_of_int model.Model.order);
+      (model, dev)
+    end
     else grow (order + max (2 * p) (order / 2)) model grid
   in
   let order0 = max (2 * p) 4 in

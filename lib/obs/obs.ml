@@ -1,0 +1,340 @@
+type arg = Int of int | Float of float | Str of string
+
+(* The switch. A plain bool ref: every disabled probe is one load and
+   one branch, no allocation (the [bench obs] gate and test_obs verify
+   this). *)
+let on = ref false
+
+let tracing () = !on [@@inline]
+
+let now = Unix.gettimeofday
+
+(* Trace epoch: Chrome-trace timestamps are microseconds since this. *)
+let t0 = ref (now ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain buffers                                                  *)
+
+type ev =
+  | B of string * float * (string * arg) list  (* span begin *)
+  | E of float  (* span end (innermost open span) *)
+  | I of string * float * (string * arg) list  (* instant event *)
+
+type buf = {
+  dom : int;  (* Domain.self of the owning domain *)
+  mutable evs : ev array;
+  mutable len : int;
+  counters : (string, float ref) Hashtbl.t;
+  gauges : (string, float * float) Hashtbl.t;  (* name -> ts, value *)
+}
+
+(* Registry of every buffer ever created, so the join (export/stats)
+   can merge them. The mutex is taken once per domain — at buffer
+   creation — never on the probe path. *)
+let registry : buf list ref = ref []
+
+let registry_mutex = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          dom = (Domain.self () :> int);
+          evs = [||];
+          len = 0;
+          counters = Hashtbl.create 32;
+          gauges = Hashtbl.create 16;
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let buf () = Domain.DLS.get dls_key
+
+let push b e =
+  if b.len = Array.length b.evs then begin
+    let cap = max 256 (2 * b.len) in
+    let evs = Array.make cap e in
+    Array.blit b.evs 0 evs 0 b.len;
+    b.evs <- evs
+  end;
+  b.evs.(b.len) <- e;
+  b.len <- b.len + 1
+
+let enable () =
+  t0 := now ();
+  on := true
+
+let disable () = on := false
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun b ->
+      b.evs <- [||];
+      b.len <- 0;
+      Hashtbl.reset b.counters;
+      Hashtbl.reset b.gauges)
+    !registry;
+  Mutex.unlock registry_mutex;
+  t0 := now ()
+
+(* ------------------------------------------------------------------ *)
+(* Probes                                                              *)
+
+let span_begin ?(args = []) name =
+  if !on then push (buf ()) (B (name, now (), args))
+
+let span_end () = if !on then push (buf ()) (E (now ()))
+
+let with_span name f =
+  if not !on then f ()
+  else begin
+    span_begin name;
+    Fun.protect ~finally:span_end f
+  end
+
+let instant ?(args = []) name =
+  if !on then push (buf ()) (I (name, now (), args))
+
+let count name n =
+  if !on then begin
+    let b = buf () in
+    match Hashtbl.find_opt b.counters name with
+    | Some r -> r := !r +. float_of_int n
+    | None -> Hashtbl.add b.counters name (ref (float_of_int n))
+  end
+
+let countf name x =
+  if !on then begin
+    let b = buf () in
+    match Hashtbl.find_opt b.counters name with
+    | Some r -> r := !r +. x
+    | None -> Hashtbl.add b.counters name (ref x)
+  end
+
+let gauge name v = if !on then Hashtbl.replace (buf ()).gauges name (now (), v)
+
+(* ------------------------------------------------------------------ *)
+(* Join: merge the per-domain buffers                                  *)
+
+let all_bufs () =
+  Mutex.lock registry_mutex;
+  let bs = !registry in
+  Mutex.unlock registry_mutex;
+  (* stable presentation order: by domain id *)
+  List.sort (fun a b -> compare a.dom b.dom) bs
+
+let counters () =
+  let merged = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt merged name with
+          | Some m -> m := !m +. !r
+          | None -> Hashtbl.add merged name (ref !r))
+        b.counters)
+    (all_bufs ());
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) merged []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counter_value name =
+  List.fold_left
+    (fun acc b ->
+      match Hashtbl.find_opt b.counters name with Some r -> acc +. !r | None -> acc)
+    0.0 (all_bufs ())
+
+let gauges_merged () =
+  let merged = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.iter
+        (fun name (ts, v) ->
+          match Hashtbl.find_opt merged name with
+          | Some (ts', _) when ts' >= ts -> ()
+          | _ -> Hashtbl.replace merged name (ts, v))
+        b.gauges)
+    (all_bufs ());
+  merged
+
+let gauge_value name =
+  match Hashtbl.find_opt (gauges_merged ()) name with
+  | Some (_, v) -> Some v
+  | None -> None
+
+let gauges () =
+  Hashtbl.fold (fun name (_, v) acc -> (name, v) :: acc) (gauges_merged ()) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type span_stat = {
+  span_name : string;
+  calls : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+}
+
+(* replay one buffer with an explicit span stack, folding closed spans
+   into the per-name aggregate *)
+let span_stats () =
+  let agg : (string, span_stat ref) Hashtbl.t = Hashtbl.create 32 in
+  let record name dt =
+    match Hashtbl.find_opt agg name with
+    | Some r ->
+      let s = !r in
+      r :=
+        {
+          s with
+          calls = s.calls + 1;
+          total_s = s.total_s +. dt;
+          min_s = Float.min s.min_s dt;
+          max_s = Float.max s.max_s dt;
+        }
+    | None ->
+      Hashtbl.add agg name
+        (ref { span_name = name; calls = 1; total_s = dt; min_s = dt; max_s = dt })
+  in
+  List.iter
+    (fun b ->
+      let stack = ref [] in
+      for k = 0 to b.len - 1 do
+        match b.evs.(k) with
+        | B (name, ts, _) -> stack := (name, ts) :: !stack
+        | E ts -> (
+          match !stack with
+          | (name, ts0) :: rest ->
+            stack := rest;
+            record name (ts -. ts0)
+          | [] -> () (* unmatched end: dropped *))
+        | I _ -> ()
+      done)
+    (all_bufs ());
+  Hashtbl.fold (fun _ r acc -> !r :: acc) agg []
+  |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_arg = function
+  | Int i -> string_of_int i
+  | Float x ->
+    if Float.is_finite x then Printf.sprintf "%.17g" x
+    else Printf.sprintf "\"%h\"" x
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_args args =
+  match args with
+  | [] -> ""
+  | _ ->
+    let fields =
+      List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (json_of_arg v)) args
+    in
+    Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+
+let us ts = (ts -. !t0) *. 1e6
+
+let export_chrome () =
+  let out = Buffer.create 65536 in
+  Buffer.add_string out "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string out ",\n";
+    Buffer.add_string out s
+  in
+  let bufs = all_bufs () in
+  List.iter
+    (fun b ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"domain %d\"}}"
+           b.dom b.dom);
+      for k = 0 to b.len - 1 do
+        match b.evs.(k) with
+        | B (name, ts, args) ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}"
+               (json_escape name) (us ts) b.dom (json_args args))
+        | E ts ->
+          emit
+            (Printf.sprintf "{\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}" (us ts)
+               b.dom)
+        | I (name, ts, args) ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\
+                \"tid\":%d%s}"
+               (json_escape name) (us ts) b.dom (json_args args))
+      done)
+    bufs;
+  let ts_end = us (now ()) in
+  List.iter
+    (fun (name, v) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":0,\
+            \"args\":{\"value\":%.17g}}"
+           (json_escape name) ts_end v))
+    (counters ());
+  Buffer.add_string out "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents out
+
+let write_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export_chrome ()))
+
+let stats_table () =
+  let b = Buffer.create 4096 in
+  let spans = span_stats () in
+  if spans <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "%-28s %8s %12s %12s %12s\n" "span" "calls" "total[ms]"
+         "mean[us]" "max[us]");
+    List.iter
+      (fun s ->
+        Buffer.add_string b
+          (Printf.sprintf "%-28s %8d %12.3f %12.2f %12.2f\n" s.span_name s.calls
+             (s.total_s *. 1e3)
+             (s.total_s /. float_of_int s.calls *. 1e6)
+             (s.max_s *. 1e6)))
+      spans
+  end;
+  (match counters () with
+  | [] -> ()
+  | cs ->
+    Buffer.add_string b (Printf.sprintf "%-28s %20s\n" "counter" "value");
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string b (Printf.sprintf "%-28s %20.6g\n" name v))
+      cs);
+  (match gauges () with
+  | [] -> ()
+  | gs ->
+    Buffer.add_string b (Printf.sprintf "%-28s %20s\n" "gauge" "value");
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string b (Printf.sprintf "%-28s %20.6g\n" name v))
+      gs);
+  Buffer.contents b

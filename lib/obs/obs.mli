@@ -1,0 +1,122 @@
+(** Zero-dependency observability: hierarchical spans, counters,
+    gauges, instant events — exported as Chrome-trace JSON
+    ([symor … --trace out.json], load in [chrome://tracing] or
+    [ui.perfetto.dev]) or as a human summary table ([--stats]).
+
+    {b Cost model.} Tracing is {e disabled by default}: every probe is
+    a single load-and-branch on {!tracing} and performs {e no
+    allocation} (verified by the [bench obs] gate and a unit test).
+    Probe calls whose arguments must be computed (a float timestamp, an
+    args list) are guarded at the call site:
+
+    {[ if Obs.tracing () then Obs.countf "ac.point_seconds" dt ]}
+
+    so the disabled path never evaluates them.
+
+    {b Determinism under the domain pool.} Every probe writes only to a
+    buffer local to the calling domain ([Domain.DLS]); a global
+    registry mutex is taken exactly once per domain, when its buffer is
+    first created. No probe reads or writes shared mutable state on the
+    hot path, so enabling tracing cannot reorder, serialise, or
+    otherwise perturb a parallel computation — pooled results stay
+    bitwise identical to sequential ones with tracing on. The
+    per-domain buffers are merged (concatenated per domain, counters
+    summed, gauges resolved by latest timestamp) only at the join —
+    i.e. when {!export_chrome}, {!stats_table}, {!counters} or
+    {!counter_value} is called after the parallel region. *)
+
+(** {1 Switch} *)
+
+val tracing : unit -> bool
+(** Whether probes record anything. Read on every probe; when [false]
+    each probe is a branch and nothing else. *)
+
+val enable : unit -> unit
+(** Turn tracing on and (re)anchor the trace epoch. *)
+
+val disable : unit -> unit
+(** Turn tracing off. Recorded data is kept until {!reset}. *)
+
+val reset : unit -> unit
+(** Drop all recorded events, counters and gauges (all domains). Call
+    only outside parallel regions. *)
+
+val now : unit -> float
+(** The clock used for span timestamps, in seconds. Monotonic for the
+    purposes of a trace (wall clock; sub-microsecond resolution). *)
+
+(** {1 Probes}
+
+    All probes are no-ops when tracing is disabled. *)
+
+type arg = Int of int | Float of float | Str of string
+(** Typed argument attached to a span or instant event; rendered into
+    the Chrome-trace [args] object. *)
+
+val span_begin : ?args:(string * arg) list -> string -> unit
+(** Open a span on the calling domain's track. Spans nest: a
+    [span_begin] inside an open span becomes its child in the trace. *)
+
+val span_end : unit -> unit
+(** Close the innermost open span on the calling domain's track. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] = [span_begin name; f ()] with the span closed
+    on return {e and} on exception. Convenience for non-hot paths (the
+    closure allocates; hot loops should use explicit begin/end under a
+    [tracing ()] guard). *)
+
+val instant : ?args:(string * arg) list -> string -> unit
+(** A point event (deflation, breakdown near-miss, order escalation…)
+    on the calling domain's track. *)
+
+val count : string -> int -> unit
+(** [count name n] adds [n] to the named counter (per-domain, summed
+    at the join). *)
+
+val countf : string -> float -> unit
+(** Float-valued counter add (accumulated seconds, flop estimates). *)
+
+val gauge : string -> float -> unit
+(** [gauge name v] records the current value of a quantity (final
+    order, envelope nnz). Merge rule: the latest write (by timestamp)
+    across all domains wins. *)
+
+(** {1 Join / export} *)
+
+val counter_value : string -> float
+(** Merged value of a counter (sum over domains; [0.] if never
+    written). *)
+
+val counters : unit -> (string * float) list
+(** All merged counters, sorted by name. *)
+
+val gauge_value : string -> float option
+(** Latest-write value of a gauge across all domains. *)
+
+val gauges : unit -> (string * float) list
+(** All merged gauges, sorted by name. *)
+
+type span_stat = {
+  span_name : string;
+  calls : int;
+  total_s : float;  (** Wall seconds, summed over calls and domains. *)
+  min_s : float;
+  max_s : float;
+}
+
+val span_stats : unit -> span_stat list
+(** Aggregate statistics per span name, sorted by descending
+    [total_s]. Computed by replaying each domain's buffer. *)
+
+val stats_table : unit -> string
+(** Human-readable summary: span table (calls / total / mean / max),
+    counters and gauges — the [--stats] output. *)
+
+val export_chrome : unit -> string
+(** The recorded trace as Chrome-trace-format JSON: one [pid], one
+    [tid] per domain, [B]/[E] span events, [i] instant events, and a
+    final [C] counter sample per counter. *)
+
+val write_trace : string -> unit
+(** Write {!export_chrome} to a file. *)

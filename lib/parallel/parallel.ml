@@ -102,6 +102,11 @@ module Pool = struct
               | None -> max 1 (n / (4 * t.jobs))
             in
             let nchunks = (n + chunk - 1) / chunk in
+            if Obs.tracing () then
+              Obs.span_begin
+                ~args:
+                  [ ("n", Obs.Int n); ("chunks", Obs.Int nchunks); ("jobs", Obs.Int t.jobs) ]
+                "pool.batch";
             let next = Atomic.make 0 in
             let err = Atomic.make None in
             let thunk () =
@@ -121,6 +126,7 @@ module Pool = struct
               done
             in
             run_batch t thunk;
+            if Obs.tracing () then Obs.span_end ();
             match Atomic.get err with
             | Some (e, bt) -> Printexc.raise_with_backtrace e bt
             | None -> ())

@@ -22,6 +22,7 @@ type workspace = {
 }
 
 let workspace (m : Circuit.Mna.t) =
+  Obs.with_span "ac.symbolic" @@ fun () ->
   let pattern = Sparse.Csr.add m.Circuit.Mna.g m.Circuit.Mna.c in
   let perm = Sparse.Rcm.order pattern in
   let gp = Sparse.Csr.permute_sym m.Circuit.Mna.g perm in
@@ -45,6 +46,13 @@ let workspace (m : Circuit.Mna.t) =
   { env; port_idx; port_val; n; p }
 
 let z_at_ws (m : Circuit.Mna.t) ws s =
+  (* per-frequency span on the calling domain's track: worker domains
+     of the pool each record into their own buffer, merged at the
+     join, so tracing cannot perturb the pooled sweep *)
+  let traced = Obs.tracing () in
+  let t_start = if traced then Obs.now () else 0.0 in
+  if traced then
+    Obs.span_begin ~args:[ ("im_s", Obs.Float s.Complex.im) ] "ac.point";
   let var =
     match m.Circuit.Mna.variable with
     | Circuit.Mna.S -> s
@@ -53,6 +61,7 @@ let z_at_ws (m : Circuit.Mna.t) ws s =
   let fac = Sparse.Skyline.Complex_soa.factor_pencil ws.env var in
   let z = Linalg.Cmat.create ws.p ws.p in
   let x_re = Array.make ws.n 0.0 and x_im = Array.make ws.n 0.0 in
+  if traced then Obs.span_begin "ac.solve";
   for c = 0 to ws.p - 1 do
     Array.fill x_re 0 ws.n 0.0;
     Array.fill x_im 0 ws.n 0.0;
@@ -72,13 +81,24 @@ let z_at_ws (m : Circuit.Mna.t) ws s =
       Linalg.Cmat.set z r c { Complex.re = !sre; im = !sim }
     done
   done;
-  match m.Circuit.Mna.gain with
-  | Circuit.Mna.Unit -> z
-  | Circuit.Mna.Times_s -> Linalg.Cmat.scale s z
+  if traced then Obs.span_end ();
+  let z =
+    match m.Circuit.Mna.gain with
+    | Circuit.Mna.Unit -> z
+    | Circuit.Mna.Times_s -> Linalg.Cmat.scale s z
+  in
+  if traced then begin
+    Obs.count "ac.points" 1;
+    Obs.countf "ac.point_seconds" (Obs.now () -. t_start);
+    Obs.span_end ()
+  end;
+  z
 
 let z_at m s = z_at_ws m (workspace m) s
 
 let sweep ?jobs (m : Circuit.Mna.t) freqs =
+  if Obs.tracing () then
+    Obs.span_begin ~args:[ ("points", Obs.Int (Array.length freqs)) ] "ac.sweep";
   let ws = workspace m in
   let point k = z_at_ws m ws (Linalg.Cx.im (2.0 *. Float.pi *. freqs.(k))) in
   (* every point is independent and written into its own slot, so the
@@ -93,6 +113,7 @@ let sweep ?jobs (m : Circuit.Mna.t) freqs =
     | None ->
       Parallel.Pool.parallel_map (Parallel.get ()) (Array.length freqs) point
   in
+  if Obs.tracing () then Obs.span_end ();
   { freqs; z; port_names = m.Circuit.Mna.port_names }
 
 let log_freqs ?(points = 200) f_lo f_hi =

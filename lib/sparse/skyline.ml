@@ -171,10 +171,22 @@ type pencil_env = {
 
 let pencil_env g c =
   assert (g.Csr.rows = g.Csr.cols && c.Csr.rows = c.Csr.cols && g.Csr.rows = c.Csr.rows);
+  if Obs.tracing () then Obs.span_begin "skyline.symbolic";
   let fg = envelope_of_csr g and fc = envelope_of_csr c in
   let n = g.Csr.rows in
   let first = Array.init n (fun i -> min fg.(i) fc.(i)) in
-  { pe_n = n; pe_first = first; pe_g = scatter_env n first g; pe_c = scatter_env n first c }
+  let env =
+    { pe_n = n; pe_first = first; pe_g = scatter_env n first g; pe_c = scatter_env n first c }
+  in
+  if Obs.tracing () then begin
+    let nnz = ref 0 in
+    for i = 0 to n - 1 do
+      nnz := !nnz + (i - first.(i) + 1)
+    done;
+    Obs.gauge "skyline.env_nnz" (float_of_int !nnz);
+    Obs.span_end ()
+  end;
+  env
 
 let factor_real ?pivot_tol a =
   assert (a.Csr.rows = a.Csr.cols);
@@ -215,7 +227,7 @@ module Complex_soa = struct
 
   let d t = Array.init t.n (fun i -> { Complex.re = t.diag_re.(i); im = t.diag_im.(i) })
 
-  let factor_pencil ?(pivot_tol = 1e-14) env s =
+  let factor_pencil_numeric ~pivot_tol env s =
     let n = env.pe_n and first = env.pe_first in
     let s_re = s.Complex.re and s_im = s.Complex.im in
     let rows_re = Array.init n (fun i -> Array.make (i - first.(i)) 0.0) in
@@ -276,6 +288,30 @@ module Complex_soa = struct
       diag_im.(i) <- !sim
     done;
     { n; first; rows_re; rows_im; diag_re; diag_im }
+
+  (* the traced entry point: one "skyline.numeric" span per frequency
+     point plus an O(n) envelope flop estimate — all behind the
+     tracing branch, so the disabled path is the bare kernel *)
+  let factor_pencil ?(pivot_tol = 1e-14) env s =
+    if Obs.tracing () then begin
+      Obs.span_begin "skyline.numeric";
+      Obs.count "skyline.factor_points" 1;
+      let first = env.pe_first in
+      let fl = ref 0.0 in
+      for i = 0 to env.pe_n - 1 do
+        let len = float_of_int (i - first.(i)) in
+        fl := !fl +. (len *. len /. 2.0)
+      done;
+      (* a complex mul-add is ~8 real flops on the split representation *)
+      Obs.countf "skyline.flops_est" (8.0 *. !fl)
+    end;
+    match factor_pencil_numeric ~pivot_tol env s with
+    | fac ->
+      if Obs.tracing () then Obs.span_end ();
+      fac
+    | exception e ->
+      if Obs.tracing () then Obs.span_end ();
+      raise e
 
   let solve_split t b_re b_im =
     assert (Array.length b_re = t.n && Array.length b_im = t.n);

@@ -1,0 +1,35 @@
+(* Shared qcheck ↔ alcotest glue.
+
+   Every property suite in this directory runs its generators from an
+   explicit seed so failures are reproducible: set [QCHECK_SEED] to
+   replay a run exactly, otherwise a fresh seed is drawn and printed.
+   On a property failure the seed is printed again next to the failing
+   test's name, together with the environment variable that replays
+   it. *)
+
+let seed =
+  lazy
+    (let s =
+       match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+       | Some s -> s
+       | None ->
+         Random.self_init ();
+         Random.int 1_000_000_000
+     in
+     Printf.printf "[qtest] qcheck seed %d (replay with QCHECK_SEED=%d)\n%!" s s;
+     s)
+
+(* a fresh state per property, all derived from the one seed, so test
+   order and count never perturb each other's draws *)
+let rand () = Random.State.make [| Lazy.force seed |]
+
+let to_alcotest t =
+  let name, speed, run = QCheck_alcotest.to_alcotest ~rand:(rand ()) t in
+  let run' arg =
+    try run arg
+    with e ->
+      Printf.printf "[qtest] property %S failed under seed %d — replay with QCHECK_SEED=%d\n%!"
+        name (Lazy.force seed) (Lazy.force seed);
+      raise e
+  in
+  (name, speed, run')

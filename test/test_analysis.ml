@@ -230,5 +230,5 @@ let () =
           Alcotest.test_case "tolerance order" `Quick test_contract_tolerance_order;
         ] );
       ( "property",
-        List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_lint_clean_reduces ] );
+        List.map (fun t -> Qtest.to_alcotest t) [ prop_lint_clean_reduces ] );
     ]

@@ -411,7 +411,7 @@ let prop_z_symmetric =
 
 let () =
   let qsuite =
-    List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_random_rc_assembles; prop_z_symmetric ]
+    List.map (fun t -> Qtest.to_alcotest t) [ prop_random_rc_assembles; prop_z_symmetric ]
   in
   Alcotest.run "circuit"
     [

@@ -227,7 +227,7 @@ let prop_reduce_always_finite =
 
 let () =
   let qsuite =
-    List.map (fun t -> QCheck_alcotest.to_alcotest t)
+    List.map (fun t -> Qtest.to_alcotest t)
       [ prop_parser_never_crashes; prop_roundtrip_random_rc; prop_reduce_always_finite ]
   in
   Alcotest.run "integration"

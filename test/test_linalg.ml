@@ -519,7 +519,7 @@ let prop_qr_orthogonal =
       Linalg.Mat.dist_max (Linalg.Mat.gram q) (Linalg.Mat.identity 4) < 1e-9)
 
 let () =
-  let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
+  let qsuite = List.map (fun t -> Qtest.to_alcotest t)
       [ prop_ldlt_reconstruct; prop_eig_sym_trace; prop_lu_solve_residual; prop_qr_orthogonal ]
   in
   Alcotest.run "linalg"

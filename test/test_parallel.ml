@@ -224,7 +224,7 @@ let fill_agrees =
 
 let qsuite =
   List.map
-    (fun t -> QCheck_alcotest.to_alcotest t)
+    (fun t -> Qtest.to_alcotest t)
     [ soa_matches_oracle; fill_agrees ]
 
 (* ------------------------------------------------------------------ *)

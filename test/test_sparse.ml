@@ -316,7 +316,7 @@ let prop_rcm_permutation =
 
 let () =
   let qsuite =
-    List.map (fun t -> QCheck_alcotest.to_alcotest t)
+    List.map (fun t -> Qtest.to_alcotest t)
       [ prop_spmv_matches_dense; prop_skyline_solve; prop_rcm_permutation ]
   in
   Alcotest.run "sparse"

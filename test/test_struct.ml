@@ -358,7 +358,7 @@ let prop_struct_rank_equals_numerical =
 
 let () =
   let qsuite =
-    List.map (fun t -> QCheck_alcotest.to_alcotest t)
+    List.map (fun t -> Qtest.to_alcotest t)
       [
         prop_orders_are_permutations;
         prop_rcm_profile_never_worse;

@@ -458,7 +458,7 @@ let prop_moment_matching =
 
 let () =
   let qsuite =
-    List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_rc_stable_passive; prop_moment_matching ]
+    List.map (fun t -> Qtest.to_alcotest t) [ prop_rc_stable_passive; prop_moment_matching ]
   in
   Alcotest.run "sympvl-core"
     [
