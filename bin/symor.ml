@@ -84,7 +84,7 @@ let load path = Circuit.Parser.parse_file path
    caught — a bare Invalid_argument/Failure is a programming bug and
    must surface with its backtrace, not be dressed up as a user
    error. *)
-let safely f =
+let safely ?netlist f =
   try f () with
   | Circuit.Parser.Parse_error (line, msg) ->
     Printf.eprintf "symor: parse error at line %d: %s\n" line msg;
@@ -95,11 +95,34 @@ let safely f =
   | Sys_error msg ->
     Printf.eprintf "symor: %s\n" msg;
     exit 1
-  | Sympvl.Factor.Singular i ->
+  | Sympvl.Rom.Unsupported why ->
+    Printf.eprintf "symor: engine does not apply to this netlist: %s\n" why;
+    exit 1
+  | Sympvl.Awe.Breakdown msg ->
+    Printf.eprintf "symor: AWE breakdown: %s — lower --order (AWE is limited to ~8)\n" msg;
+    exit 1
+  | Sympvl.Mpvl.Breakdown k ->
     Printf.eprintf
-      "symor: the (shifted) G matrix is singular (pivot %d) — pass --band to pick a \
-       usable expansion shift\n"
-      i;
+      "symor: MPVL exact breakdown at step %d — perturb --shift or use --engine sympvl\n" k;
+    exit 1
+  | Sympvl.Factor.Singular i ->
+    (* concrete recovery: recompute the automatic eq.-26 shift for this
+       pencil so the message names a value that is known to regularise
+       it, instead of telling the user to go guess one *)
+    let hint =
+      match netlist with
+      | None -> "pass --band LO,HI to pick a usable expansion shift"
+      | Some path -> (
+        match
+          Sympvl.Pencil.auto_shift (Circuit.Mna.auto (Circuit.Parser.parse_file path))
+        with
+        | s0 ->
+          Printf.sprintf
+            "retry with --shift %g (the automatic shift for this pencil) or --band LO,HI"
+            s0
+        | exception _ -> "pass --band LO,HI to pick a usable expansion shift")
+    in
+    Printf.eprintf "symor: the (shifted) G matrix is singular (pivot %d) — %s\n" i hint;
     exit 1
 
 let class_name nl =
@@ -240,6 +263,22 @@ let analyze_cmd =
     Term.(const run $ netlist_arg $ json_arg $ strict_arg $ quiet_arg $ fill_arg)
 
 let reduce_cmd =
+  let shift_arg =
+    let doc =
+      "Explicit expansion shift s0 (in the pencil variable). Disables the automatic \
+       singular-G retry: a singular factorisation at an explicit shift is an error."
+    in
+    Arg.(value & opt (some float) None & info [ "shift" ] ~docv:"S0" ~doc)
+  in
+  let engine_arg =
+    let doc =
+      "Reduction engine: $(b,sympvl) (default), $(b,mpvl), $(b,prima), $(b,awe) or \
+       $(b,bt). Pass $(b,help) to list the engines with their guarantees. Engines \
+       other than sympvl report size/shift and the $(b,--check) accuracy figure; \
+       --adaptive, --synth and --poles stay SyMPVL-only."
+    in
+    Arg.(value & opt string "sympvl" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
   let synth_arg =
     let doc = "Write a synthesized reduced netlist to $(docv)." in
     Arg.(value & opt (some string) None & info [ "synth" ] ~docv:"OUT" ~doc)
@@ -257,14 +296,76 @@ let reduce_cmd =
     in
     Arg.(value & flag & info [ "check" ] ~doc)
   in
-  let run verbose path order band synth_out poles check adaptive jobs trace stats =
-   safely @@ fun () ->
+  (* non-SyMPVL engines share one report shape: size line, shift, and
+     under --check the deviation from exact AC analysis on the band.
+     Unsupported engine/netlist pairs are skipped with exit 0 so a
+     matrix loop over examples × engines stays a one-liner. *)
+  let run_engine eng mna path ~order ~shift ~band ~check =
+    match Sympvl.Rom.supports eng mna with
+    | Error why ->
+      Format.printf "%s: skipping %s (unsupported: %s)@." (Sympvl.Rom.name eng) path why
+    | Ok () ->
+      let opts = { (Sympvl.Rom.default ~order) with Sympvl.Rom.shift; band } in
+      let model = Sympvl.Rom.reduce ~opts ~order eng mna in
+      Format.printf "%s: N = %d -> n = %d (p = %d); shift s0 = %g@."
+        (Sympvl.Rom.name eng) mna.Circuit.Mna.n (Sympvl.Rom.order model)
+        (Sympvl.Rom.ports model) (Sympvl.Rom.shift model);
+      if check then begin
+        let f_lo, f_hi = match band with Some b -> b | None -> (1e6, 1e10) in
+        let freqs = Simulate.Ac.log_freqs ~points:40 f_lo f_hi in
+        let sw = Simulate.Ac.sweep mna freqs in
+        let zm = Simulate.Ac.model_sweep (Sympvl.Rom.eval model) freqs in
+        (* scalar engines (AWE) model only Z at port 0 of the exact p×p *)
+        let sw =
+          if Sympvl.Rom.ports model = Array.length sw.Simulate.Ac.port_names then sw
+          else
+            {
+              sw with
+              Simulate.Ac.z =
+                Array.map
+                  (fun z ->
+                    let w = Linalg.Cmat.create 1 1 in
+                    Linalg.Cmat.set w 0 0 (Linalg.Cmat.get z 0 0);
+                    w)
+                  sw.Simulate.Ac.z;
+              port_names = [| sw.Simulate.Ac.port_names.(0) |];
+            }
+        in
+        Format.printf "max relative error on [%g, %g] Hz: %.3e@." f_lo f_hi
+          (Simulate.Ac.max_rel_error sw zm)
+      end
+  in
+  let run verbose path order band shift engine synth_out poles check adaptive jobs trace
+      stats =
+    (if engine = "help" then begin
+       List.iter
+         (fun e -> Printf.printf "%-8s %s\n" (Sympvl.Rom.name e) (Sympvl.Rom.describe e))
+         Sympvl.Rom.all;
+       exit 0
+     end);
+   safely ~netlist:path @@ fun () ->
     setup_logs verbose;
     apply_jobs jobs;
     with_obs trace stats @@ fun () ->
+    let eng =
+      match Sympvl.Rom.of_name engine with
+      | Some e -> e
+      | None ->
+        Printf.eprintf "symor: unknown engine %S (try --engine help)\n" engine;
+        exit 1
+    in
     let nl = load path in
     let mna = Circuit.Mna.auto nl in
-    let opts = { (Sympvl.Reduce.default ~order) with Sympvl.Reduce.band } in
+    if eng <> `Sympvl then begin
+      if adaptive <> None || synth_out <> None || poles then begin
+        Printf.eprintf
+          "symor: --adaptive/--synth/--poles are SyMPVL-only (drop --engine)\n";
+        exit 1
+      end;
+      run_engine eng mna path ~order ~shift ~band ~check
+    end
+    else
+    let opts = { (Sympvl.Reduce.default ~order) with Sympvl.Reduce.band; shift } in
     let contracts = check || Sympvl.Contract.enabled () in
     let model, contract_diags =
       match adaptive with
@@ -347,11 +448,12 @@ let reduce_cmd =
     in
     Arg.(value & opt (some float) None & info [ "adaptive" ] ~docv:"TOL" ~doc)
   in
-  let doc = "Reduce a netlist with SyMPVL." in
+  let doc = "Reduce a netlist (SyMPVL by default; see --engine for the full registry)." in
   Cmd.v (Cmd.info "reduce" ~doc)
     Term.(
-      const run $ verbose_arg $ netlist_arg $ order_arg $ band_arg $ synth_arg $ poles_arg
-      $ check_arg $ adaptive_arg $ jobs_arg $ trace_arg $ stats_arg)
+      const run $ verbose_arg $ netlist_arg $ order_arg $ band_arg $ shift_arg
+      $ engine_arg $ synth_arg $ poles_arg $ check_arg $ adaptive_arg $ jobs_arg
+      $ trace_arg $ stats_arg)
 
 let ac_cmd =
   let points_arg =
@@ -360,7 +462,7 @@ let ac_cmd =
   let flo_arg = Arg.(value & opt float 1e6 & info [ "flo" ] ~doc:"Start frequency, Hz.") in
   let fhi_arg = Arg.(value & opt float 1e10 & info [ "fhi" ] ~doc:"Stop frequency, Hz.") in
   let run path flo fhi points jobs trace stats =
-   safely @@ fun () ->
+   safely ~netlist:path @@ fun () ->
     apply_jobs jobs;
     with_obs trace stats @@ fun () ->
     let nl = load path in
@@ -401,7 +503,7 @@ let sparams_cmd =
   let fhi_arg = Arg.(value & opt float 1e10 & info [ "fhi" ] ~doc:"Stop frequency, Hz.") in
   let z0_arg = Arg.(value & opt float 50.0 & info [ "z0" ] ~doc:"Reference impedance, ohms.") in
   let run path flo fhi points z0 jobs trace stats =
-   safely @@ fun () ->
+   safely ~netlist:path @@ fun () ->
     apply_jobs jobs;
     with_obs trace stats @@ fun () ->
     let nl = load path in
@@ -443,7 +545,7 @@ let tran_cmd =
     Arg.(required & opt (some (list string)) None & info [ "observe" ] ~doc)
   in
   let run path dt tstop observe =
-   safely @@ fun () ->
+   safely ~netlist:path @@ fun () ->
     let nl = load path in
     let nodes = List.map (Circuit.Netlist.node nl) observe in
     let opts = Simulate.Transient.default ~dt ~t_stop:tstop in

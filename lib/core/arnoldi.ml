@@ -9,35 +9,12 @@ type t = {
   gain : Circuit.Mna.gain;
 }
 
-let reduce ?shift ?band ~order (m : Circuit.Mna.t) =
+let reduce ?ctx ?shift ?band ~order (m : Circuit.Mna.t) =
   let g = m.Circuit.Mna.g and c = m.Circuit.Mna.c in
-  let resolve_shift () =
-    match shift with
-    | Some s0 -> s0
-    | None -> (
-      match Factor.with_shift g c 0.0 with
-      | _ -> 0.0
-      | exception Factor.Singular _ -> (
-        match band with
-        | Some (f_lo, f_hi) ->
-          let w = 2.0 *. Float.pi *. sqrt (f_lo *. f_hi) in
-          (match m.Circuit.Mna.variable with
-          | Circuit.Mna.S -> w
-          | Circuit.Mna.S_squared -> w *. w)
-        | None ->
-          (* same fallback heuristic as Reduce.auto_shift *)
-          let diag_max a =
-            let worst = ref 0.0 in
-            for i = 0 to a.Sparse.Csr.rows - 1 do
-              worst := Float.max !worst (Float.abs (Sparse.Csr.get a i i))
-            done;
-            !worst
-          in
-          let dg = diag_max g and dc = diag_max c in
-          if dc <= 0.0 then 1.0 else Float.max (dg /. dc) 1.0))
-  in
-  let s0 = resolve_shift () in
-  let fac = Factor.with_shift g c s0 in
+  let ctx = match ctx with Some p -> p | None -> Pencil.create m in
+  (* shift resolution and factorisation via the shared policy: PRIMA
+     expands about the exact same point SyMPVL/MPVL would pick *)
+  Pencil.with_auto_shift ?shift ?band ctx @@ fun s0 fac ->
   let solve_k v = fac.Factor.solve v in
   let nn = m.Circuit.Mna.n in
   let p = m.Circuit.Mna.b.Linalg.Mat.cols in
@@ -108,9 +85,10 @@ let shift_of_hz (m : Circuit.Mna.t) f =
   | Circuit.Mna.S -> w
   | Circuit.Mna.S_squared -> w *. w
 
-let reduce_multipoint ~points (m : Circuit.Mna.t) =
+let reduce_multipoint ?ctx ~points (m : Circuit.Mna.t) =
   assert (points <> []);
   let g = m.Circuit.Mna.g and c = m.Circuit.Mna.c in
+  let ctx = match ctx with Some p -> p | None -> Pencil.create m in
   let nn = m.Circuit.Mna.n in
   let p = m.Circuit.Mna.b.Linalg.Mat.cols in
   let basis = ref [] in
@@ -136,7 +114,8 @@ let reduce_multipoint ~points (m : Circuit.Mna.t) =
   in
   List.iter
     (fun (s0, steps) ->
-      let fac = Factor.with_shift g c s0 in
+      (* repeated expansion points are cache hits on the context *)
+      let fac = Pencil.factor ctx ~shift:s0 in
       let current = ref [] in
       for col = 0 to p - 1 do
         let v = fac.Factor.solve (Linalg.Mat.col m.Circuit.Mna.b col) in

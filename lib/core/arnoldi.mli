@@ -20,12 +20,16 @@ type t = {
   gain : Circuit.Mna.gain;
 }
 
-val reduce : ?shift:float -> ?band:float * float -> order:int -> Circuit.Mna.t -> t
+val reduce :
+  ?ctx:Pencil.t -> ?shift:float -> ?band:float * float -> order:int -> Circuit.Mna.t -> t
 (** Reduce to (at most) the given order; the basis may saturate
-    earlier if the Krylov space is exhausted. [band] selects the
-    automatic shift when [G] is singular, as in {!Reduce}. *)
+    earlier if the Krylov space is exhausted. Shift resolution is
+    {!Pencil.with_auto_shift}, so PRIMA expands about the exact same
+    point {!Reduce} (SyMPVL) would pick — explicit [shift] wins,
+    otherwise 0 with the band-guided/heuristic retry when [G] is
+    singular. Pass [ctx] to share one context across engines. *)
 
-val reduce_multipoint : points:(float * int) list -> Circuit.Mna.t -> t
+val reduce_multipoint : ?ctx:Pencil.t -> points:(float * int) list -> Circuit.Mna.t -> t
 (** Rational (multi-point) Krylov reduction — the natural extension of
     the single-expansion method (complex-frequency-hopping style,
     listed as future work in the Padé line). [points] gives

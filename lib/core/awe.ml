@@ -9,7 +9,7 @@ type t = {
 
 exception Breakdown of string
 
-let build ?(shift = 0.0) ~order ~port (m : Circuit.Mna.t) =
+let build ?ctx ?(shift = 0.0) ~order ~port (m : Circuit.Mna.t) =
   if m.Circuit.Mna.variable <> Circuit.Mna.S then
     invalid_arg "Awe.build: only pencils in the s variable are supported";
   let q = order in
@@ -18,7 +18,10 @@ let build ?(shift = 0.0) ~order ~port (m : Circuit.Mna.t) =
   let b = Linalg.Mat.create m.Circuit.Mna.n 1 in
   Linalg.Mat.set_col b 0 (Linalg.Mat.col m.Circuit.Mna.b port);
   let scalar_mna = { m with Circuit.Mna.b; port_names = [| "awe" |] } in
-  let mats = Moments.exact ~shift scalar_mna (2 * q) in
+  (* the moments come from the shared pencil context (G and C are the
+     full pencil's; only B differs), so AWE after another engine's
+     reduction at the same shift reuses the cached factorisation *)
+  let mats = Moments.exact ?ctx ~shift scalar_mna (2 * q) in
   let c_raw = Array.map (fun mk -> Linalg.Mat.get mk 0 0) mats in
   (* moment scaling (standard AWE practice): work in σ′ = ασ with
      α ≈ the dominant time constant so the scaled moments are O(c₀);

@@ -23,9 +23,11 @@ type t = {
 exception Breakdown of string
 (** The Hankel system is numerically singular. *)
 
-val build : ?shift:float -> order:int -> port:int -> Circuit.Mna.t -> t
+val build : ?ctx:Pencil.t -> ?shift:float -> order:int -> port:int -> Circuit.Mna.t -> t
 (** [build ~order ~port m] computes the [order]-pole AWE model of
-    [Z_port,port] from [2·order] explicit moments. *)
+    [Z_port,port] from [2·order] explicit moments (solved through the
+    shared pencil context; pass [ctx] to reuse a factorisation cached
+    by another engine at the same shift). *)
 
 val eval : t -> Complex.t -> Complex.t
 (** Evaluate at physical [s] via the pole/residue form. *)

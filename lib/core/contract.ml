@@ -147,6 +147,42 @@ let check_model (model : Model.t) =
   in
   [ stab; pasv ]
 
+let check_pencil ?(tol = 1e-7) ctx ~shift =
+  (* backward-residual probe of the shared pencil context: solve
+     K(s₀)x = b through the (cached) factorisation and measure
+     ‖K x − b‖∞ against ‖K‖·‖x‖ — a cheap end-to-end consistency
+     check of ordering, envelope scatter and numeric factor *)
+  let n = Pencil.n ctx in
+  let g = Pencil.g ctx and c = Pencil.c ctx in
+  let b = Array.init n (fun i -> 1.0 +. float_of_int (i mod 3)) in
+  let fac = Pencil.factor ctx ~shift in
+  let x = fac.Factor.solve b in
+  let gx = Sparse.Csr.mul_vec g x in
+  let cx = Sparse.Csr.mul_vec c x in
+  let inf a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 a in
+  let resid =
+    let worst = ref 0.0 in
+    for i = 0 to n - 1 do
+      worst := Float.max !worst (Float.abs (gx.(i) +. (shift *. cx.(i)) -. b.(i)))
+    done;
+    !worst
+  in
+  let kscale = max_abs_values g +. (Float.abs shift *. max_abs_values c) in
+  let rel = resid /. Float.max ((kscale *. inf x) +. inf b) 1e-300 in
+  [
+    (if rel > tol then
+       D.warning "NUM007"
+         (Printf.sprintf
+            "pencil factor-solve residual ‖K(s₀)x − b‖/(‖K‖‖x‖+‖b‖) = %.3e \
+             exceeds %.1e at shift %.3e — the factorisation of the shared \
+             context is inaccurate (ill-conditioned pencil; try another shift)"
+            rel tol shift)
+     else
+       D.info "NUM007"
+         (Printf.sprintf "pencil factor-solve residual %.3e at shift %.3e (tol %.1e): ok"
+            rel shift tol));
+  ]
+
 let check_reduction ~mna ~j ~lanczos ~dtol ~ctol ~model =
   D.sort
     (check_mna mna @ check_lanczos ~j ~dtol ~ctol lanczos @ check_model model)

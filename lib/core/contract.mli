@@ -21,6 +21,8 @@
       stable — still produced an unstable pole; warning otherwise)
     - [NUM006] — passivity certificate of [Tₙ] (info when certified or
       structurally inapplicable, warning when [T] is indefinite)
+    - [NUM007] — factor-solve backward residual of the shared
+      {!Pencil} context at the expansion shift (warning above [tol])
 
     Enable from the CLI with [symor reduce --check] or by setting
     [SYMOR_CHECK=1] in the environment. *)
@@ -46,6 +48,12 @@ val check_lanczos :
 val check_model : Model.t -> Circuit.Diagnostic.t list
 (** Stability and passivity certificates of [Tₙ]
     ([NUM005]/[NUM006]). *)
+
+val check_pencil :
+  ?tol:float -> Pencil.t -> shift:float -> Circuit.Diagnostic.t list
+(** Backward-residual probe of the shared pencil context ([NUM007]):
+    solve [K(s₀)x = b] through the (cached) factorisation and check
+    [‖K(s₀)x − b‖∞ / (‖K‖‖x‖ + ‖b‖) ≤ tol] (default [1e-7]). *)
 
 val check_reduction :
   mna:Circuit.Mna.t ->

@@ -21,6 +21,13 @@ exception Singular of int
 (** The matrix is numerically singular — apply a frequency shift
     (paper eq. (26)) and retry. *)
 
+val of_skyline : int -> int array -> Sparse.Skyline.Real.t -> t
+(** [of_skyline n perm fac] wraps an already-computed skyline
+    factorisation of [P A Pᵀ] (rows of [perm] list old indices in new
+    order) into operators acting in the original coordinates:
+    [M = Pᵀ L √|D|], [J = sign D]. This is how {!Pencil} turns its
+    envelope-reusing numeric factorisations into [Factor.t]s. *)
+
 val of_csr : ?ordering:bool -> ?pivot_tol:float -> Sparse.Csr.t -> t
 (** Sparse path: RCM ordering (unless [ordering:false]) followed by
     skyline LDLᵀ. Raises {!Singular} on pivot breakdown — note that

@@ -1,5 +1,11 @@
-let exact ?(shift = 0.0) (m : Circuit.Mna.t) k =
-  let fac = Factor.with_shift m.Circuit.Mna.g m.Circuit.Mna.c shift in
+(* all solves go through the shared pencil context: with [ctx] reused
+   from a reduction at the same shift, the factorisation is a cache
+   hit and the moment check costs only triangular solves *)
+let context ?ctx m =
+  match ctx with Some c -> c | None -> Pencil.create m
+
+let exact ?ctx ?(shift = 0.0) (m : Circuit.Mna.t) k =
+  let fac = Pencil.factor (context ?ctx m) ~shift in
   let p = m.Circuit.Mna.b.Linalg.Mat.cols in
   let n = m.Circuit.Mna.n in
   (* X₀ = K⁻¹B, X_{j+1} = K⁻¹ C X_j; moment_j = (−1)ʲ Bᵀ X_j *)
@@ -20,26 +26,26 @@ let exact ?(shift = 0.0) (m : Circuit.Mna.t) k =
       let mk = Linalg.Mat.mul (Linalg.Mat.transpose m.Circuit.Mna.b) !x in
       if jdx mod 2 = 0 then mk else Linalg.Mat.scale (-1.0) mk)
 
-let relative_errors ?shift model mna k =
+let relative_errors ?ctx ?shift model mna k =
   let shift = match shift with Some s -> s | None -> model.Model.shift in
-  let ex = exact ~shift mna k in
+  let ex = exact ?ctx ~shift mna k in
   let red = Model.moments model k in
   Array.init k (fun i ->
       let scale = Float.max (Linalg.Mat.max_abs ex.(i)) 1e-300 in
       Linalg.Mat.dist_max ex.(i) red.(i) /. scale)
 
-let matched_count ?shift ?(rtol = 1e-6) model mna =
+let matched_count ?ctx ?shift ?(rtol = 1e-6) model mna =
   let max_check = (2 * model.Model.order) + 2 in
-  let errs = relative_errors ?shift model mna max_check in
+  let errs = relative_errors ?ctx ?shift model mna max_check in
   let rec count i = if i < max_check && errs.(i) <= rtol then count (i + 1) else i in
   count 0
 
 (* Scaled comparison: run both Krylov recurrences with per-step
    renormalisation by the exact iterate's magnitude, so the two
    sequences stay on a common scale and never leave the float range. *)
-let relative_errors_scaled ?shift model mna k =
+let relative_errors_scaled ?ctx ?shift model mna k =
   let shift = match shift with Some s -> s | None -> model.Model.shift in
-  let fac = Factor.with_shift mna.Circuit.Mna.g mna.Circuit.Mna.c shift in
+  let fac = Pencil.factor (context ?ctx mna) ~shift in
   let p = mna.Circuit.Mna.b.Linalg.Mat.cols in
   let n = mna.Circuit.Mna.n in
   (* exact iterate *)
@@ -76,8 +82,8 @@ let relative_errors_scaled ?shift model mna k =
   done;
   errs
 
-let matched_count_scaled ?shift ?(rtol = 1e-6) model mna =
+let matched_count_scaled ?ctx ?shift ?(rtol = 1e-6) model mna =
   let max_check = (2 * model.Model.order) + 2 in
-  let errs = relative_errors_scaled ?shift model mna max_check in
+  let errs = relative_errors_scaled ?ctx ?shift model mna max_check in
   let rec count i = if i < max_check && errs.(i) <= rtol then count (i + 1) else i in
   count 0

@@ -8,27 +8,29 @@
     so the k-th matrix moment is [(−1)ᵏ Bᵀ(K⁻¹C)ᵏK⁻¹B]. SyMPVL must
     match at least [2⌊n/p⌋] of these. *)
 
-val exact : ?shift:float -> Circuit.Mna.t -> int -> Linalg.Mat.t array
-(** [exact ~shift m k] computes moments 0 … k−1 ([p × p] each). *)
+val exact : ?ctx:Pencil.t -> ?shift:float -> Circuit.Mna.t -> int -> Linalg.Mat.t array
+(** [exact ~shift m k] computes moments 0 … k−1 ([p × p] each). Pass
+    the [ctx] of a reduction at the same shift and the factorisation
+    is a cache hit — the check then costs only triangular solves. *)
 
-val matched_count : ?shift:float -> ?rtol:float -> Model.t -> Circuit.Mna.t -> int
+val matched_count : ?ctx:Pencil.t -> ?shift:float -> ?rtol:float -> Model.t -> Circuit.Mna.t -> int
 (** Number of leading moments of the model that agree with the exact
     ones to relative tolerance [rtol] (default [1e-6], measured in the
     max norm relative to the moment's scale). The shift defaults to
     the model's own. *)
 
-val relative_errors : ?shift:float -> Model.t -> Circuit.Mna.t -> int -> float array
+val relative_errors : ?ctx:Pencil.t -> ?shift:float -> Model.t -> Circuit.Mna.t -> int -> float array
 (** Per-moment relative errors for the first [k] moments. *)
 
 val relative_errors_scaled :
-  ?shift:float -> Model.t -> Circuit.Mna.t -> int -> float array
+  ?ctx:Pencil.t -> ?shift:float -> Model.t -> Circuit.Mna.t -> int -> float array
 (** Like {!relative_errors} but with per-step renormalisation of both
     Krylov recurrences, so that moment sequences spanning hundreds of
     decades (high orders, strongly shifted pencils) can be compared
     without under/overflow. Each moment is compared after rescaling by
     its own running magnitude. *)
 
-val matched_count_scaled : ?shift:float -> ?rtol:float -> Model.t -> Circuit.Mna.t -> int
+val matched_count_scaled : ?ctx:Pencil.t -> ?shift:float -> ?rtol:float -> Model.t -> Circuit.Mna.t -> int
 (** {!matched_count} on the scaled comparison — use this to verify
     the [2⌊n/p⌋] property at large orders (e.g. the paper's n = 50
     PEEC run matching 50 moments). *)

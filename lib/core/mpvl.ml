@@ -74,23 +74,12 @@ let run_lanczos ~dtol ~order ~op ~op_t ~r_start ~l_start =
    with Exit -> ());
   (Array.of_list !vs, Array.of_list !ws, Array.of_list !ds, !deflations)
 
-let reduce ?shift ?band ?(dtol = 1e-8) ~order (m : Circuit.Mna.t) =
-  let g = m.Circuit.Mna.g and c = m.Circuit.Mna.c in
-  let resolve () =
-    match shift with
-    | Some s0 -> (s0, Factor.with_shift g c s0)
-    | None -> (
-      match Factor.with_shift g c 0.0 with
-      | fac -> (0.0, fac)
-      | exception Factor.Singular _ ->
-        let s0 =
-          match band with
-          | Some b -> Reduce.band_shift m b
-          | None -> Reduce.auto_shift m
-        in
-        (s0, Factor.with_shift g c s0))
-  in
-  let s0, fac = resolve () in
+let reduce ?ctx ?shift ?band ?(dtol = 1e-8) ~order (m : Circuit.Mna.t) =
+  let c = m.Circuit.Mna.c in
+  let ctx = match ctx with Some p -> p | None -> Pencil.create m in
+  (* shift resolution and factorisation via the shared policy — the
+     exact same eq. (26) retry as SyMPVL/PRIMA *)
+  Pencil.with_auto_shift ?shift ?band ctx @@ fun s0 fac ->
   let op v = fac.Factor.solve (Sparse.Csr.mul_vec c v) in
   let op_t v = Sparse.Csr.mul_vec c (fac.Factor.solve v) in
   let p = m.Circuit.Mna.b.Linalg.Mat.cols in

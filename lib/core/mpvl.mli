@@ -33,11 +33,13 @@ exception Breakdown of int
     look-ahead). *)
 
 val reduce :
-  ?shift:float -> ?band:float * float -> ?dtol:float -> order:int ->
+  ?ctx:Pencil.t -> ?shift:float -> ?band:float * float -> ?dtol:float -> order:int ->
   Circuit.Mna.t -> t
-(** Reduce to (at most) the requested order. Shift resolution follows
-    {!Reduce.mna}: explicit [shift] wins; otherwise 0 with band-guided
-    automatic retry when [G] is singular. *)
+(** Reduce to (at most) the requested order. Shift resolution is
+    {!Pencil.with_auto_shift} — the same policy as {!Reduce.mna}:
+    explicit [shift] wins; otherwise 0 with band-guided automatic
+    retry when [G] is singular. Pass [ctx] to reuse a context (and
+    its cached factorisations) across engines. *)
 
 val eval : t -> Complex.t -> Linalg.Cmat.t
 (** Evaluate [Zₙ] at a physical complex frequency (same conventions

@@ -1,0 +1,209 @@
+type t = {
+  g : Sparse.Csr.t;
+  c : Sparse.Csr.t;
+  variable : Circuit.Mna.variable;
+  n : int;
+  p : int;
+  perm : int array; (* new index -> old index *)
+  inv : int array; (* old index -> new index *)
+  mutable env : Sparse.Skyline.pencil_env; (* mutable only via [reserve] *)
+  port_idx : int array array;
+  port_val : float array array;
+  cache : (float, (Factor.t, int) result) Hashtbl.t;
+}
+
+let log_src = Logs.Src.create "sympvl.pencil" ~doc:"shared pencil-solve context"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let n t = t.n
+
+let p t = t.p
+
+let perm t = t.perm
+
+let env t = t.env
+
+let port_idx t = t.port_idx
+
+let port_val t = t.port_val
+
+let variable t = t.variable
+
+let g t = t.g
+
+let c t = t.c
+
+(* structural pre-flight: a pencil whose pattern has structural rank
+   < n is singular for every element value and every expansion shift
+   (Matching.mli) — fail up front with a located user error instead of
+   a late Factor.Singular from some shifted retry *)
+let check_structure (m : Circuit.Mna.t) =
+  let mm = Sparse.Matching.maximum (Circuit.Mna.pencil_pattern m) in
+  let n = m.Circuit.Mna.n in
+  if mm.Sparse.Matching.rank < n then begin
+    let rows = Sparse.Matching.unmatched_rows mm in
+    let shown = List.filteri (fun i _ -> i < 4) rows in
+    let labels = String.concat ", " (List.map (Circuit.Mna.unknown_label m) shown) in
+    let extra = List.length rows - List.length shown in
+    Circuit.Diagnostic.user_errorf
+      "[STR001] G + sC is structurally singular (structural rank %d of %d): \
+       %s%s cannot be matched to independent equations — no element values or \
+       expansion shift can repair this; run `symor analyze` for source-line \
+       provenance"
+      mm.Sparse.Matching.rank n labels
+      (if extra > 0 then Printf.sprintf " (and %d more)" extra else "")
+  end
+
+let auto_shift_gc g c =
+  let diag_max a =
+    let worst = ref 0.0 in
+    for i = 0 to a.Sparse.Csr.rows - 1 do
+      worst := Float.max !worst (Float.abs (Sparse.Csr.get a i i))
+    done;
+    !worst
+  in
+  let g = diag_max g and c = diag_max c in
+  if c <= 0.0 then 1.0 else Float.max (g /. c) 1.0
+
+let auto_shift (m : Circuit.Mna.t) = auto_shift_gc m.Circuit.Mna.g m.Circuit.Mna.c
+
+let band_shift_var variable (f_lo, f_hi) =
+  assert (f_lo > 0.0 && f_hi >= f_lo);
+  let w = 2.0 *. Float.pi *. sqrt (f_lo *. f_hi) in
+  match variable with Circuit.Mna.S -> w | Circuit.Mna.S_squared -> w *. w
+
+let band_shift (m : Circuit.Mna.t) band = band_shift_var m.Circuit.Mna.variable band
+
+let of_matrices ?(ordering = true) ?(variable = Circuit.Mna.S) ?b g c =
+  if Obs.tracing () then
+    Obs.span_begin ~args:[ ("n", Obs.Int g.Sparse.Csr.rows) ] "factor.symbolic";
+  let n = g.Sparse.Csr.rows in
+  let pattern = Sparse.Csr.add g c in
+  let perm = if ordering then Sparse.Rcm.order pattern else Sparse.Rcm.identity n in
+  let gp = Sparse.Csr.permute_sym g perm in
+  let cp = Sparse.Csr.permute_sym c perm in
+  let env = Sparse.Skyline.pencil_env gp cp in
+  let inv = Array.make n 0 in
+  Array.iteri (fun new_i old_i -> inv.(old_i) <- new_i) perm;
+  let p = match b with None -> 0 | Some b -> b.Linalg.Mat.cols in
+  let port_idx = Array.make p [||] and port_val = Array.make p [||] in
+  (match b with
+  | None -> ()
+  | Some b ->
+    for c = 0 to p - 1 do
+      let idx = ref [] and v = ref [] in
+      for i = n - 1 downto 0 do
+        let bi = Linalg.Mat.get b perm.(i) c in
+        if bi <> 0.0 then begin
+          idx := i :: !idx;
+          v := bi :: !v
+        end
+      done;
+      port_idx.(c) <- Array.of_list !idx;
+      port_val.(c) <- Array.of_list !v
+    done);
+  if Obs.tracing () then Obs.span_end ();
+  { g; c; variable; n; p; perm; inv; env; port_idx; port_val; cache = Hashtbl.create 4 }
+
+let create ?ordering (m : Circuit.Mna.t) =
+  check_structure m;
+  of_matrices ?ordering ~variable:m.Circuit.Mna.variable ~b:m.Circuit.Mna.b
+    m.Circuit.Mna.g m.Circuit.Mna.c
+
+(* ------------------------------------------------------------------ *)
+(* real factorisations, memoized by shift                              *)
+
+let dense_shifted t s0 =
+  let shifted =
+    if s0 = 0.0 then t.g else Sparse.Csr.add ~alpha:1.0 ~beta:s0 t.g t.c
+  in
+  Factor.of_dense (Sparse.Csr.to_dense shifted)
+
+let factor_uncached t s0 =
+  if Obs.tracing () then Obs.span_begin "factor.numeric";
+  match Sparse.Skyline.factor_pencil_real t.env s0 with
+  | sky ->
+    if Obs.tracing () then begin
+      Obs.count "factor.count" 1;
+      Obs.count "factor.nnz" (Sparse.Skyline.Real.fill sky);
+      Obs.span_end ()
+    end;
+    Ok (Factor.of_skyline t.n t.perm sky)
+  | exception Sparse.Skyline.Singular i -> (
+    if Obs.tracing () then begin
+      Obs.instant ~args:[ ("pivot", Obs.Int i) ] "factor.breakdown";
+      Obs.span_end ()
+    end;
+    Log.info (fun f ->
+        f "skyline pivot breakdown at %d; falling back to dense Bunch-Kaufman" i);
+    match dense_shifted t s0 with
+    | fac -> Ok fac
+    | exception Factor.Singular j -> Error j)
+
+let unpack = function Ok fac -> fac | Error i -> raise (Factor.Singular i)
+
+let factor t ~shift =
+  match Hashtbl.find_opt t.cache shift with
+  | Some r ->
+    if Obs.tracing () then Obs.count "pencil.cache_hit" 1;
+    unpack r
+  | None ->
+    if Obs.tracing () then Obs.count "pencil.cache_miss" 1;
+    let r = factor_uncached t shift in
+    Hashtbl.replace t.cache shift r;
+    unpack r
+
+let with_auto_shift ?shift ?band t f =
+  match shift with
+  | Some s0 -> f s0 (factor t ~shift:s0)
+  | None -> (
+    match factor t ~shift:0.0 with
+    | fac -> f 0.0 fac
+    | exception Factor.Singular _ ->
+      let s0 =
+        match band with
+        | Some b -> band_shift_var t.variable b
+        | None -> auto_shift_gc t.g t.c
+      in
+      Log.info (fun f -> f "G singular; retrying with automatic shift s0 = %g" s0);
+      if Obs.tracing () then
+        Obs.instant ~args:[ ("shift", Obs.Float s0) ] "pencil.shift_retry";
+      f s0 (factor t ~shift:s0))
+
+(* ------------------------------------------------------------------ *)
+(* Newton-Jacobian hook (transient)                                    *)
+
+let reserve t positions =
+  let extra_first = Array.init t.n (fun i -> i) in
+  Array.iter
+    (fun (i, j) ->
+      let pi = t.inv.(i) and pj = t.inv.(j) in
+      let hi = max pi pj and lo = min pi pj in
+      if lo < extra_first.(hi) then extra_first.(hi) <- lo)
+    positions;
+  t.env <- Sparse.Skyline.widen_env t.env extra_first
+
+let factor_with t ~shift ~extra =
+  let extra = Array.map (fun (i, j, v) -> (t.inv.(i), t.inv.(j), v)) extra in
+  match Sparse.Skyline.factor_pencil_real ~extra t.env shift with
+  | sky -> Factor.of_skyline t.n t.perm sky
+  | exception Sparse.Skyline.Singular i -> raise (Factor.Singular i)
+
+(* ------------------------------------------------------------------ *)
+(* complex pencil solves (AC path)                                     *)
+
+let factor_complex ?pivot_tol t s =
+  Sparse.Skyline.Complex_soa.factor_pencil ?pivot_tol t.env s
+
+let solve_complex t s b_re b_im =
+  let fac = factor_complex t s in
+  let xr = Array.init t.n (fun i -> b_re.(t.perm.(i))) in
+  let xi = Array.init t.n (fun i -> b_im.(t.perm.(i))) in
+  Sparse.Skyline.Complex_soa.solve_split fac xr xi;
+  let o_re = Array.make t.n 0.0 and o_im = Array.make t.n 0.0 in
+  for i = 0 to t.n - 1 do
+    o_re.(t.perm.(i)) <- xr.(i);
+    o_im.(t.perm.(i)) <- xi.(i)
+  done;
+  (o_re, o_im)

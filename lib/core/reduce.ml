@@ -19,50 +19,13 @@ let default ~order =
     ordering = true;
   }
 
-let band_shift (m : Circuit.Mna.t) (f_lo, f_hi) =
-  assert (f_lo > 0.0 && f_hi >= f_lo);
-  let w = 2.0 *. Float.pi *. sqrt (f_lo *. f_hi) in
-  match m.Circuit.Mna.variable with
-  | Circuit.Mna.S -> w
-  | Circuit.Mna.S_squared -> w *. w
+let band_shift = Pencil.band_shift
+
+let auto_shift = Pencil.auto_shift
 
 let log_src = Logs.Src.create "sympvl.reduce" ~doc:"SyMPVL driver"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
-
-(* structural pre-flight: a pencil whose pattern has structural rank
-   < n is singular for every element value and every expansion shift
-   (Matching.mli) — fail up front with a located user error instead of
-   a late Factor.Singular from some shifted retry *)
-let check_structure (m : Circuit.Mna.t) =
-  let mm = Sparse.Matching.maximum (Circuit.Mna.pencil_pattern m) in
-  let n = m.Circuit.Mna.n in
-  if mm.Sparse.Matching.rank < n then begin
-    let rows = Sparse.Matching.unmatched_rows mm in
-    let shown = List.filteri (fun i _ -> i < 4) rows in
-    let labels =
-      String.concat ", " (List.map (Circuit.Mna.unknown_label m) shown)
-    in
-    let extra = List.length rows - List.length shown in
-    Circuit.Diagnostic.user_errorf
-      "[STR001] G + sC is structurally singular (structural rank %d of %d): \
-       %s%s cannot be matched to independent equations — no element values or \
-       expansion shift can repair this; run `symor analyze` for source-line \
-       provenance"
-      mm.Sparse.Matching.rank n labels
-      (if extra > 0 then Printf.sprintf " (and %d more)" extra else "")
-  end
-
-let auto_shift (m : Circuit.Mna.t) =
-  let diag_max a =
-    let worst = ref 0.0 in
-    for i = 0 to a.Sparse.Csr.rows - 1 do
-      worst := Float.max !worst (Float.abs (Sparse.Csr.get a i i))
-    done;
-    !worst
-  in
-  let g = diag_max m.Circuit.Mna.g and c = diag_max m.Circuit.Mna.c in
-  if c <= 0.0 then 1.0 else Float.max (g /. c) 1.0
 
 let run_with_factor (m : Circuit.Mna.t) opts shift fac =
   let j = fac.Factor.j in
@@ -110,42 +73,30 @@ let run_with_factor (m : Circuit.Mna.t) opts shift fac =
   (model, fac, res)
 
 (* the full pipeline, also exposing the factorisation and the raw
-   Lanczos result so the contract checker can audit them *)
-let mna_internal ?opts ~order (m : Circuit.Mna.t) =
+   Lanczos result so the contract checker can audit them; all pencil
+   work — pre-flight, ordering, factorisation, shift policy — goes
+   through the shared [ctx] (built here unless the caller reuses one) *)
+let mna_internal ?opts ?ctx ~order (m : Circuit.Mna.t) =
   let opts = match opts with Some o -> o | None -> default ~order in
   Obs.with_span "reduce.mna" @@ fun () ->
-  check_structure m;
-  match opts.shift with
-  | Some s0 ->
-    let fac =
-      Factor.with_shift ~ordering:opts.ordering m.Circuit.Mna.g m.Circuit.Mna.c s0
-    in
-    run_with_factor m opts s0 fac
-  | None -> (
-    match Factor.with_shift ~ordering:opts.ordering m.Circuit.Mna.g m.Circuit.Mna.c 0.0 with
-    | fac -> run_with_factor m opts 0.0 fac
-    | exception Factor.Singular _ ->
-      let s0 =
-        match opts.band with Some band -> band_shift m band | None -> auto_shift m
-      in
-      Log.info (fun f -> f "G singular; retrying with automatic shift s0 = %g" s0);
-      if Obs.tracing () then
-        Obs.instant ~args:[ ("shift", Obs.Float s0) ] "reduce.shift_retry";
-      let fac =
-        Factor.with_shift ~ordering:opts.ordering m.Circuit.Mna.g m.Circuit.Mna.c s0
-      in
-      run_with_factor m opts s0 fac)
+  let ctx =
+    match ctx with Some c -> c | None -> Pencil.create ~ordering:opts.ordering m
+  in
+  Pencil.with_auto_shift ?shift:opts.shift ?band:opts.band ctx (fun s0 fac ->
+      let model, fac, res = run_with_factor m opts s0 fac in
+      (model, fac, res, ctx))
 
-let mna ?opts ~order (m : Circuit.Mna.t) =
-  let model, _, _ = mna_internal ?opts ~order m in
+let mna ?opts ?ctx ~order (m : Circuit.Mna.t) =
+  let model, _, _, _ = mna_internal ?opts ?ctx ~order m in
   model
 
-let checked ?opts ~order (m : Circuit.Mna.t) =
+let checked ?opts ?ctx ~order (m : Circuit.Mna.t) =
   let opts = match opts with Some o -> o | None -> default ~order in
-  let model, fac, res = mna_internal ~opts ~order m in
+  let model, fac, res, ctx = mna_internal ~opts ?ctx ~order m in
   let diags =
     Contract.check_reduction ~mna:m ~j:fac.Factor.j ~lanczos:res ~dtol:opts.dtol
       ~ctol:opts.ctol ~model
+    @ Contract.check_pencil ctx ~shift:model.Model.shift
   in
   (model, diags)
 
@@ -177,10 +128,16 @@ let to_accuracy ?opts ?max_order ?(points = 25) ~tol ~band (m : Circuit.Mna.t) =
       za;
     !worst
   in
+  (* one shared context across the whole escalation: the symbolic
+     phase runs once and every retried order reuses the cached
+     factorisation at the common expansion shift *)
+  let ctx =
+    Pencil.create ~ordering:(match opts with Some o -> o.ordering | None -> true) m
+  in
   let build order =
     let base = match opts with Some o -> o | None -> default ~order in
     let o = { base with order; band = Some band } in
-    mna ~opts:o ~order m
+    mna ~opts:o ~ctx ~order m
   in
   Obs.with_span "reduce.adaptive" @@ fun () ->
   let rec grow order _prev prev_grid =

@@ -27,21 +27,26 @@ type options = {
 val default : order:int -> options
 
 val band_shift : Circuit.Mna.t -> float * float -> float
-(** The mid-band expansion point in the pencil variable. *)
+(** The mid-band expansion point in the pencil variable
+    (= {!Pencil.band_shift}). *)
 
 val auto_shift : Circuit.Mna.t -> float
 (** Fallback heuristic shift [max |diag G| / max |diag C|] when no
-    band is known — the right order of magnitude to make [G + s₀C]
-    well conditioned, though usually far from the band of interest
-    (prefer passing [band]). *)
+    band is known (= {!Pencil.auto_shift}) — the right order of
+    magnitude to make [G + s₀C] well conditioned, though usually far
+    from the band of interest (prefer passing [band]). *)
 
-val mna : ?opts:options -> order:int -> Circuit.Mna.t -> Model.t
+val mna : ?opts:options -> ?ctx:Pencil.t -> order:int -> Circuit.Mna.t -> Model.t
 (** Reduce a pre-assembled pencil. [opts] overrides [order] if both
-    given.
+    given. All pencil work — structural pre-flight, ordering,
+    factorisation, the eq. (26) shift policy — is delegated to a
+    {!Pencil.t} context; pass [ctx] to share one (its cached
+    factorisations, symbolic phase and pre-flight) across several
+    reductions or with {!Moments}.
 
-    A structural pre-flight runs first: if the pattern of [G + sC]
-    has structural rank < n (singular for {e every} element value and
-    shift — see {!Sparse.Matching}), the call raises
+    The structural pre-flight: if the pattern of [G + sC] has
+    structural rank < n (singular for {e every} element value and
+    shift — see {!Sparse.Matching}), {!Pencil.create} raises
     {!Circuit.Diagnostic.User_error} with an [STR001] message naming
     the unmatched unknowns, instead of a late {!Factor.Singular} from
     a doomed shifted retry. {!Factor.Singular} is still raised when
@@ -50,15 +55,18 @@ val mna : ?opts:options -> order:int -> Circuit.Mna.t -> Model.t
 
 val checked :
   ?opts:options ->
+  ?ctx:Pencil.t ->
   order:int ->
   Circuit.Mna.t ->
   Model.t * Circuit.Diagnostic.t list
 (** Like {!mna}, but additionally audits the numerical contracts the
     algorithm rests on — symmetry of [G]/[C], J-orthogonality of the
-    Lanczos basis, tolerance consistency, and the stability/passivity
-    certificates of [Tₙ] — and returns the {!Contract} findings
-    alongside the model (used by [symor reduce --check] and the
-    [SYMOR_CHECK=1] environment contract). *)
+    Lanczos basis, tolerance consistency, the stability/passivity
+    certificates of [Tₙ], and a factor-solve residual probe of the
+    shared pencil context ({!Contract.check_pencil}) — and returns
+    the {!Contract} findings alongside the model (used by
+    [symor reduce --check] and the [SYMOR_CHECK=1] environment
+    contract). *)
 
 val netlist : ?opts:options -> order:int -> Circuit.Netlist.t -> Model.t
 (** [Circuit.Mna.auto] followed by {!mna} — the paper's specialised

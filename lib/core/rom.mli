@@ -1,0 +1,86 @@
+(** Engine registry: one front door for every reduction algorithm.
+
+    Every model-order-reduction engine in the library — the paper's
+    SyMPVL band-Lanczos, two-sided MPVL, PRIMA block-Arnoldi, scalar
+    AWE and dense balanced truncation — is reachable here behind a
+    single options record and a single [reduce] entry point, so the
+    CLI, the tests and the benches can enumerate and compare them
+    uniformly. All Krylov engines share one {!Pencil} context (and
+    therefore one symbolic phase, one factor cache and one eq.-26
+    shift policy); pass [?ctx] to share it with exact AC analysis or
+    moment checks too. *)
+
+type engine = [ `Sympvl | `Mpvl | `Prima | `Awe | `Bt ]
+
+type options = {
+  order : int;  (** Requested reduced order (columns of the Krylov basis). *)
+  shift : float option;  (** Explicit expansion point [s₀]; no retry. *)
+  band : (float * float) option;
+      (** Frequency band (Hz) for the automatic mid-band shift. *)
+  dtol : float;  (** Deflation tolerance (Lanczos engines). *)
+  ctol : float;  (** Definiteness check tolerance (SyMPVL). *)
+  full_ortho : bool;  (** Full re-orthogonalisation (SyMPVL). *)
+  ordering : bool;  (** RCM fill-reducing ordering in the shared context. *)
+  port : int;  (** Port column driven by scalar engines (AWE). *)
+}
+
+val default : order:int -> options
+(** The library defaults: no shift, RCM on, [dtol = 1e-8],
+    [ctol = 1e-10], full re-orthogonalisation, port 0. *)
+
+val all : engine list
+(** Every registered engine, in documentation order. *)
+
+val name : engine -> string
+val of_name : string -> engine option
+(** Case-insensitive; accepts the aliases [arnoldi] (PRIMA) and
+    [balanced]/[truncation] (BT). *)
+
+val describe : engine -> string
+(** One-line summary of the algorithm and its guarantees, as printed
+    by [symor reduce --engine help] and the README table. *)
+
+val golden_rtol : engine -> float
+(** Documented worst-case relative deviation from the exact AC golden
+    fixtures on the shipped example netlists' 16-point grid at the
+    orders the cross-engine golden test requests (Krylov engines near
+    exhaustion; AWE at its documented low-order validity). *)
+
+val supports : engine -> Circuit.Mna.t -> (unit, string) result
+(** Structural applicability of an engine to an assembled pencil:
+    AWE needs the [s] variable (scalar moment matching); balanced
+    truncation needs the symmetric positive definite RC impedance
+    form. [Error reason] explains the mismatch in one sentence. *)
+
+type model =
+  | Sympvl_model of Model.t
+  | Mpvl_model of Mpvl.t
+  | Prima_model of Arnoldi.t
+  | Awe_model of Awe.t
+  | Bt_model of Btruncation.t
+
+exception Unsupported of string
+(** Raised by {!reduce} when {!supports} says no. *)
+
+val reduce :
+  ?ctx:Pencil.t -> ?opts:options -> order:int -> engine -> Circuit.Mna.t -> model
+(** Run one engine. [opts] defaults to [default ~order] (an explicit
+    [opts] wins over [~order]). The shared [ctx] is threaded to every
+    pencil-backed engine; balanced truncation is dense and ignores it.
+    AWE resolves [band] to the same mid-band shift as the Krylov
+    engines ({!Pencil.band_shift}).
+
+    @raise Unsupported when the engine does not apply to [m].
+    @raise Factor.Singular as the underlying engine would. *)
+
+val eval : model -> Complex.t -> Linalg.Cmat.t
+(** Reduced-order [Ẑ(s)] at a physical complex frequency, uniformly a
+    [p×p] matrix (AWE's scalar becomes [1×1]); gain and variable
+    conventions as in {!Model.eval}. *)
+
+val order : model -> int
+val ports : model -> int
+
+val shift : model -> float
+(** Expansion point actually used ([0.] for balanced truncation,
+    which has none). *)

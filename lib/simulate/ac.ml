@@ -4,46 +4,16 @@ type sweep = {
   port_names : string array;
 }
 
-(* Reusable workspace for repeated complex factorisations, split into a
-   one-time symbolic phase and a per-frequency numeric phase:
-   - [env] is the RCM-permuted pencil's merged envelope with the G and
-     C entries pre-scattered into envelope-aligned rows, so each
-     frequency point assembles and factors without touching
-     [Csr.get] or re-running the envelope analysis;
-   - [port_idx]/[port_val] hold, per port, the rows of the permuted B
-     that carry a nonzero entry (and the entries), used both to build
-     the sparse right-hand side and for the BᵀX dot products. *)
-type workspace = {
-  env : Sparse.Skyline.pencil_env;
-  port_idx : int array array;
-  port_val : float array array;
-  n : int;
-  p : int;
-}
+(* The reusable symbolic phase is the shared pencil context
+   (Sympvl.Pencil): RCM ordering of the merged pattern, envelope with
+   pre-scattered G/C rows, and per-port sparse patterns of the
+   permuted B — used both to build the right-hand side and for the
+   BᵀX dot products. The sweep below runs the split-complex numeric
+   kernel against it at each frequency. *)
+type workspace = Sympvl.Pencil.t
 
 let workspace (m : Circuit.Mna.t) =
-  Obs.with_span "ac.symbolic" @@ fun () ->
-  let pattern = Sparse.Csr.add m.Circuit.Mna.g m.Circuit.Mna.c in
-  let perm = Sparse.Rcm.order pattern in
-  let gp = Sparse.Csr.permute_sym m.Circuit.Mna.g perm in
-  let cp = Sparse.Csr.permute_sym m.Circuit.Mna.c perm in
-  let n = m.Circuit.Mna.n in
-  let p = m.Circuit.Mna.b.Linalg.Mat.cols in
-  let env = Sparse.Skyline.pencil_env gp cp in
-  let port_idx = Array.make p [||] and port_val = Array.make p [||] in
-  for c = 0 to p - 1 do
-    let idx = ref [] and v = ref [] in
-    for i = n - 1 downto 0 do
-      let bi = Linalg.Mat.get m.Circuit.Mna.b perm.(i) c in
-      if bi <> 0.0 then begin
-        idx := i :: !idx;
-        v := bi :: !v
-      end
-    done;
-    port_idx.(c) <- Array.of_list !idx;
-    port_val.(c) <- Array.of_list !v
-  done;
-  { env; port_idx; port_val; n; p }
+  Obs.with_span "ac.symbolic" @@ fun () -> Sympvl.Pencil.create m
 
 let z_at_ws (m : Circuit.Mna.t) ws s =
   (* per-frequency span on the calling domain's track: worker domains
@@ -58,20 +28,22 @@ let z_at_ws (m : Circuit.Mna.t) ws s =
     | Circuit.Mna.S -> s
     | Circuit.Mna.S_squared -> Linalg.Cx.(s *: s)
   in
-  let fac = Sparse.Skyline.Complex_soa.factor_pencil ws.env var in
-  let z = Linalg.Cmat.create ws.p ws.p in
-  let x_re = Array.make ws.n 0.0 and x_im = Array.make ws.n 0.0 in
+  let n = Sympvl.Pencil.n ws and p = Sympvl.Pencil.p ws in
+  let port_idx = Sympvl.Pencil.port_idx ws and port_val = Sympvl.Pencil.port_val ws in
+  let fac = Sympvl.Pencil.factor_complex ws var in
+  let z = Linalg.Cmat.create p p in
+  let x_re = Array.make n 0.0 and x_im = Array.make n 0.0 in
   if traced then Obs.span_begin "ac.solve";
-  for c = 0 to ws.p - 1 do
-    Array.fill x_re 0 ws.n 0.0;
-    Array.fill x_im 0 ws.n 0.0;
-    let ci = ws.port_idx.(c) and cv = ws.port_val.(c) in
+  for c = 0 to p - 1 do
+    Array.fill x_re 0 n 0.0;
+    Array.fill x_im 0 n 0.0;
+    let ci = port_idx.(c) and cv = port_val.(c) in
     for k = 0 to Array.length ci - 1 do
       x_re.(ci.(k)) <- cv.(k)
     done;
     Sparse.Skyline.Complex_soa.solve_split fac x_re x_im;
-    for r = 0 to ws.p - 1 do
-      let ri = ws.port_idx.(r) and rv = ws.port_val.(r) in
+    for r = 0 to p - 1 do
+      let ri = port_idx.(r) and rv = port_val.(r) in
       let sre = ref 0.0 and sim = ref 0.0 in
       for k = 0 to Array.length ri - 1 do
         let i = ri.(k) in

@@ -18,11 +18,14 @@ type sweep = {
   port_names : string array;
 }
 
-type workspace
-(** Reusable symbolic phase of the sweep: RCM ordering, merged
-    envelope with pre-scattered G/C rows, per-port sparse B patterns.
-    Build once with {!workspace}; each {!z_at_ws} call is then a pure
-    numeric factor + solve. *)
+type workspace = Sympvl.Pencil.t
+(** Reusable symbolic phase of the sweep — the shared pencil context
+    (RCM ordering, merged envelope with pre-scattered G/C rows,
+    per-port sparse B patterns). Build once with {!workspace}; each
+    {!z_at_ws} call is then a pure numeric factor + solve. Because it
+    {e is} a {!Sympvl.Pencil.t}, the same context can be handed to
+    {!Sympvl.Reduce.mna} or {!Sympvl.Moments.exact} to share the
+    symbolic phase between exact analysis and reduction. *)
 
 val workspace : Circuit.Mna.t -> workspace
 

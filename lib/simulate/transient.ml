@@ -222,7 +222,10 @@ let add_nonlinear_currents sys x q =
 (* linear-solver backends over A = G + γC (+ nonlinear Jacobian) *)
 type backend_state =
   | Dense_backend of Linalg.Mat.t (* dense A without nonlinear part *)
-  | Skyline_backend of int array * Sparse.Csr.t (* perm, permuted A *)
+  | Skyline_backend of Sympvl.Pencil.t
+    (* shared pencil context over (G, C): RCM ordering and envelope
+       symbolic phase run once; every Newton refactorisation is a pure
+       numeric phase at shift γ with the Jacobian stamps as extras *)
 
 let choose_backend sys reduced =
   (* voltage-source and reduced-stamp rows are saddle points (zero
@@ -249,8 +252,20 @@ let run ?opts ?(reduced = []) ~observe nl =
     match backend_kind with
     | `Dense -> Dense_backend (Sparse.Csr.to_dense a_lin)
     | `Skyline ->
-      let perm = Sparse.Rcm.order a_lin in
-      Skyline_backend (perm, Sparse.Csr.permute_sym a_lin perm)
+      let ctx = Sympvl.Pencil.of_matrices sys.g sys.c in
+      (* widen the shared envelope once so the per-iteration Jacobian
+         stamps (which need not lie in the linear pattern) fit *)
+      let positions =
+        List.concat_map
+          (fun e ->
+            (if e.nl_n1 >= 0 then [ (e.nl_n1, e.nl_n1) ] else [])
+            @ (if e.nl_n2 >= 0 then [ (e.nl_n2, e.nl_n2) ] else [])
+            @
+            if e.nl_n1 >= 0 && e.nl_n2 >= 0 then [ (e.nl_n1, e.nl_n2) ] else [])
+          sys.nonlinear
+      in
+      if positions <> [] then Sympvl.Pencil.reserve ctx (Array.of_list positions);
+      Skyline_backend ctx
   in
   (* factor A plus the nonlinear Jacobian stamps at linearisation
      point x (entries g_eq between the element nodes) *)
@@ -278,35 +293,22 @@ let run ?opts ?(reduced = []) ~observe nl =
         jac_entries;
       let lu = Linalg.Lu.factor a in
       fun b -> Linalg.Lu.solve_vec lu b
-    | Skyline_backend (perm, pa) ->
-      let pa =
-        if jac_entries = [] then pa
-        else begin
-          let inv = Array.make n 0 in
-          Array.iteri (fun ni oi -> inv.(oi) <- ni) perm;
-          let tr = Sparse.Triplet.create n n in
-          for i = 0 to n - 1 do
-            Sparse.Csr.iter_row pa i (fun j v -> Sparse.Triplet.add tr i j v)
-          done;
-          List.iter
-            (fun (e, g) ->
-              if e.nl_n1 >= 0 then Sparse.Triplet.add tr inv.(e.nl_n1) inv.(e.nl_n1) g;
-              if e.nl_n2 >= 0 then Sparse.Triplet.add tr inv.(e.nl_n2) inv.(e.nl_n2) g;
-              if e.nl_n1 >= 0 && e.nl_n2 >= 0 then begin
-                Sparse.Triplet.add tr inv.(e.nl_n1) inv.(e.nl_n2) (-.g);
-                Sparse.Triplet.add tr inv.(e.nl_n2) inv.(e.nl_n1) (-.g)
-              end)
-            jac_entries;
-          Sparse.Csr.of_triplet tr
-        end
+    | Skyline_backend ctx ->
+      let extra =
+        List.concat_map
+          (fun (e, g) ->
+            (if e.nl_n1 >= 0 then [ (e.nl_n1, e.nl_n1, g) ] else [])
+            @ (if e.nl_n2 >= 0 then [ (e.nl_n2, e.nl_n2, g) ] else [])
+            @
+            if e.nl_n1 >= 0 && e.nl_n2 >= 0 then [ (e.nl_n1, e.nl_n2, -.g) ]
+            else [])
+          jac_entries
       in
-      let fac = Sparse.Skyline.factor_real pa in
-      fun b ->
-        let pb = Array.init n (fun i -> b.(perm.(i))) in
-        let py = Sparse.Skyline.Real.solve fac pb in
-        let y = Linalg.Vec.create n in
-        Array.iteri (fun i pi -> y.(pi) <- py.(i)) perm;
-        y
+      let fac =
+        if extra = [] then Sympvl.Pencil.factor ctx ~shift:gamma
+        else Sympvl.Pencil.factor_with ctx ~shift:gamma ~extra:(Array.of_list extra)
+      in
+      fac.Sympvl.Factor.solve
   in
   let linear = sys.nonlinear = [] in
   let solve_linear = if linear then Some (factor_with_jacobian (Linalg.Vec.create n)) else None in

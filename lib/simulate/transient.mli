@@ -7,7 +7,8 @@
     in — their internal states and port currents (eq. (23) of the
     paper: this is the "stamped directly into the Jacobian" usage).
 
-    Linear symmetric circuits use the sparse skyline backend with one
+    Linear symmetric circuits use the shared pencil context
+    ({!Sympvl.Pencil}) as the sparse skyline backend with one
     factorisation for the whole run; circuits with reduced stamps or
     controlled sources use dense LU. *)
 

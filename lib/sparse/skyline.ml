@@ -195,6 +195,40 @@ let factor_real ?pivot_tol a =
   let rows = scatter_env n first a in
   Real.factor ?pivot_tol ~n ~first ~get:(fun i j -> rows.(i).(j - first.(i))) ()
 
+let factor_pencil_real ?pivot_tol ?(extra = [||]) env s0 =
+  let n = env.pe_n and first = env.pe_first in
+  (* numeric assembly A = G + s₀·C into envelope-aligned rows; [extra]
+     entries (lower triangle, inside the envelope) are accumulated on
+     top — the Newton-Jacobian hook of the transient engine *)
+  let rows =
+    Array.init n (fun i ->
+        let ge = env.pe_g.(i) and ce = env.pe_c.(i) in
+        Array.init (i - first.(i) + 1) (fun k -> ge.(k) +. (s0 *. ce.(k))))
+  in
+  Array.iter
+    (fun (i, j, v) ->
+      let i, j = if i >= j then (i, j) else (j, i) in
+      if j < first.(i) then invalid_arg "Skyline.factor_pencil_real: extra entry outside envelope";
+      rows.(i).(j - first.(i)) <- rows.(i).(j - first.(i)) +. v)
+    extra;
+  Real.factor ?pivot_tol ~n ~first ~get:(fun i j -> rows.(i).(j - first.(i))) ()
+
+let widen_env env extra_first =
+  let n = env.pe_n in
+  assert (Array.length extra_first = n);
+  let first = Array.init n (fun i -> min env.pe_first.(i) (min extra_first.(i) i)) in
+  let pad rows =
+    Array.init n (fun i ->
+        let shift = env.pe_first.(i) - first.(i) in
+        if shift = 0 then rows.(i)
+        else begin
+          let r = Array.make (i - first.(i) + 1) 0.0 in
+          Array.blit rows.(i) 0 r shift (Array.length rows.(i));
+          r
+        end)
+  in
+  { pe_n = n; pe_first = first; pe_g = pad env.pe_g; pe_c = pad env.pe_c }
+
 let factor_complex_env ?pivot_tol env s =
   let first = env.pe_first in
   let get i j =

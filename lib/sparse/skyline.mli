@@ -89,6 +89,26 @@ val factor_real : ?pivot_tol:float -> Csr.t -> Real.t
 (** Convenience: envelope + factor of a symmetric real CSR matrix.
     Assembly reads pre-scattered envelope rows (no [Csr.get]). *)
 
+val factor_pencil_real :
+  ?pivot_tol:float -> ?extra:(int * int * float) array -> pencil_env -> float -> Real.t
+(** [factor_pencil_real env s0] is the numeric phase of a real
+    shifted-pencil factorisation [G + s₀C = L D Lᵀ] against a reused
+    symbolic phase: assembly reads the pre-scattered envelope rows, so
+    repeated factorisations at different shifts share one pattern
+    analysis. Optional [extra] entries [(i, j, v)] (either triangle;
+    positions must lie inside the envelope — widen with {!widen_env}
+    first if needed) are accumulated onto the assembled matrix, which
+    lets the transient engine poke Newton-Jacobian stamps without
+    rebuilding a CSR. Raises [Invalid_argument] on an out-of-envelope
+    extra entry and {!Singular} on pivot breakdown. *)
+
+val widen_env : pencil_env -> int array -> pencil_env
+(** [widen_env env extra_first] returns a copy of [env] whose row [i]
+    spans down to [min env.pe_first.(i) extra_first.(i)], left-padding
+    the scattered [G]/[C] rows with structural zeros. Use it to make
+    room for {!factor_pencil_real}'s [extra] entries that fall outside
+    the linear pencil's envelope. *)
+
 val factor_complex :
   ?pivot_tol:float -> Complex.t -> Csr.t -> Csr.t -> Complex_sym.t
 (** [factor_complex s g c] factors [G + sC] (complex symmetric). The
