@@ -799,6 +799,7 @@ let ac_bench () =
         (ns_seed /. float_of_int points)
         bitwise
       :: !rows;
+    let per_jobs = ref [] in
     List.iter
       (fun jobs ->
         let ns =
@@ -806,6 +807,7 @@ let ac_bench () =
             (Printf.sprintf "%s-j%d" name jobs)
             (fun () -> ignore (Simulate.Ac.sweep ~jobs mna freqs))
         in
+        per_jobs := (jobs, ns) :: !per_jobs;
         Printf.printf "%-28s %12.1f ns/point (%.2fx vs seed)\n"
           (Printf.sprintf "soa+reuse, jobs=%d" jobs)
           (ns /. float_of_int points)
@@ -819,7 +821,16 @@ let ac_bench () =
             (ns /. float_of_int points)
             (ns_seed /. ns) bitwise
           :: !rows)
-      jobs_list
+      jobs_list;
+    (* hard gate: asking for more workers must never cost throughput.
+       jobs=2 may not beat jobs=1 on a small box (the pool caps spawned
+       domains at the core count), but it must stay within noise of it *)
+    (match (List.assoc_opt 1 !per_jobs, List.assoc_opt 2 !per_jobs) with
+    | Some ns1, Some ns2 ->
+      let ok = ns2 <= 1.05 *. ns1 in
+      Printf.printf "jobs=2 within 5%% of jobs=1: %b (%.2fx)\n" ok (ns2 /. ns1);
+      if not ok then exit 1
+    | _ -> ())
   in
   run_workload "package_model" (snd (package_mna ())) 1e8 1e10;
   run_workload "coupled_rc_bus"
@@ -1080,6 +1091,89 @@ let pencil_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* certify — certification cost vs the reduction it audits             *)
+
+let certify_bench () =
+  section "Certify: full MOD001-MOD009 pass vs the reduction it audits";
+  let rows = ref [] in
+  let run_one name (mna : Circuit.Mna.t) ~order ~end_to_end =
+    let n = mna.Circuit.Mna.n in
+    (* reduce is measured cold (fresh symbolic context per call — what
+       `symor reduce` pays end to end); certify shares the context with
+       the reduction it audits, exactly as `symor reduce --certify` *)
+    let ns_reduce =
+      if end_to_end then
+        measure_ns (name ^ "-reduce") (fun () ->
+            ignore (Sympvl.Rom.reduce ~order `Sympvl mna))
+      else begin
+        let ctx = Sympvl.Pencil.create mna in
+        ignore (Sympvl.Rom.reduce ~ctx ~order `Sympvl mna);
+        measure_ns (name ^ "-reduce") (fun () ->
+            ignore (Sympvl.Rom.reduce ~ctx ~order `Sympvl mna))
+      end
+    in
+    let ctx = Sympvl.Pencil.create mna in
+    let model = Sympvl.Rom.reduce ~ctx ~order `Sympvl mna in
+    let ns_certify =
+      measure_ns (name ^ "-certify") (fun () ->
+          ignore (Sympvl.Certify.run ~ctx model mna))
+    in
+    let ratio = ns_certify /. ns_reduce in
+    let findings = (Sympvl.Certify.run ~ctx model mna).Sympvl.Certify.findings in
+    let clean =
+      List.for_all
+        (fun d -> d.Circuit.Diagnostic.severity = Circuit.Diagnostic.Info)
+        findings
+    in
+    Printf.printf "%-16s N=%5d n=%3d  reduce %10.1f us  certify %10.1f us \
+                   (%.2fx)  clean=%b\n"
+      name n order (ns_reduce /. 1e3) (ns_certify /. 1e3) ratio clean;
+    rows :=
+      Printf.sprintf
+        "{\"workload\":%S,\"n\":%d,\"order\":%d,\"reduce_ns\":%.1f,\
+         \"certify_ns\":%.1f,\"certify_over_reduce\":%.3f,\"clean\":%b}"
+        name n order ns_reduce ns_certify ratio clean
+      :: !rows;
+    (ratio, clean)
+  in
+  (* part 1: the shipped example netlists at full order — the CI
+     configuration (symor certify --strict); every pass must be clean *)
+  Printf.printf "\nshipped examples, SyMPVL at full order:\n";
+  let all_clean = ref true in
+  List.iter
+    (fun base ->
+      let nl = Circuit.Parser.parse_file ("examples/netlists/" ^ base ^ ".cir") in
+      let mna = Circuit.Mna.auto nl in
+      let _, clean =
+        run_one base mna ~order:mna.Circuit.Mna.n ~end_to_end:false
+      in
+      if not clean then all_clean := false)
+    [ "rc_line"; "lc_tank"; "rl_ladder"; "coupled_lines" ];
+  (* part 2: certification overhead at order <= 40 on a reduction big
+     enough that the Lanczos sweep dominates — certify must stay a
+     small fraction of the end-to-end reduce wall time *)
+  Printf.printf "\nscaled RC line, order 40:\n";
+  let sections = if !quick then 800 else 1500 in
+  let mna =
+    Circuit.Mna.assemble_rc (Circuit.Generators.rc_line ~sections ())
+  in
+  let ratio, _ = run_one "rc_line_scaled" mna ~order:40 ~end_to_end:true in
+  json_out "certify" ("[\n" ^ String.concat ",\n" (List.rev !rows) ^ "\n]\n");
+  (* hard gates: the shipped passive examples certify clean, and the
+     order-40 certification costs at most a quarter of the reduction it
+     audits (quick mode is a smoke run at a smaller size where the
+     reduction is too cheap to hide behind — parity is enough there) *)
+  if not !all_clean then begin
+    Printf.printf "FAIL: a shipped example did not certify clean\n";
+    exit 1
+  end;
+  let cap = if !quick then 1.0 else 0.25 in
+  if ratio > cap then begin
+    Printf.printf "FAIL: certify/reduce ratio %.3f exceeds the %.2f cap\n" ratio cap;
+    exit 1
+  end
+
 let all_experiments =
   [
     ("fig2", fig2);
@@ -1095,6 +1189,7 @@ let all_experiments =
     ("tabH", tab_h);
     ("ac", ac_bench);
     ("pencil", pencil_bench);
+    ("certify", certify_bench);
     ("ordering", ordering_study);
     ("kernels", kernels);
     ("obs", obs_gate);

@@ -262,6 +262,119 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const run $ netlist_arg $ json_arg $ strict_arg $ quiet_arg $ fill_arg)
 
+(* shared by `symor certify` and `symor reduce --certify`: run the
+   engine-uniform certification pass and return its findings. [order]
+   0 means auto: the full pencil size for the Krylov/BT engines (the
+   model is then the exact transfer function and every check is a
+   theorem test), AWE's documented low-order validity otherwise. *)
+let certify_one ~order ~shift ~band eng (mna : Circuit.Mna.t) =
+  let order =
+    if order > 0 then order
+    else match eng with `Awe -> 3 | _ -> mna.Circuit.Mna.n
+  in
+  let ctx = Sympvl.Pencil.create mna in
+  let opts = { (Sympvl.Rom.default ~order) with Sympvl.Rom.shift; band } in
+  let model = Sympvl.Rom.reduce ~ctx ~opts ~order eng mna in
+  let drift_band = match band with Some b -> Some b | None -> (
+    match eng with `Awe -> Some (1e6, 1e10) | _ -> None)
+  in
+  Sympvl.Certify.run ~ctx ?drift_band ~shift_requested:(shift <> None) model mna
+
+let certify_cmd =
+  let json_arg =
+    let doc = "Emit the findings as a JSON array (machine-readable)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let strict_arg =
+    let doc = "Treat warnings as errors for the exit code." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress info-level findings in the text output." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let engine_arg =
+    let doc =
+      "Engine to certify: $(b,sympvl) (default), $(b,mpvl), $(b,prima), \
+       $(b,awe), $(b,bt), or $(b,all) to sweep every engine that supports the \
+       netlist."
+    in
+    Arg.(value & opt string "sympvl" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let order_arg =
+    let doc =
+      "Reduced order to certify (0 = auto: the full pencil size for the \
+       Krylov/BT engines, so the checks become theorem tests; 3 for AWE)."
+    in
+    Arg.(value & opt int 0 & info [ "n"; "order" ] ~doc)
+  in
+  let shift_arg =
+    let doc =
+      "Explicit expansion shift s0. A nonzero shift leaves the certified \
+       regime — MOD008 reports it."
+    in
+    Arg.(value & opt (some float) None & info [ "shift" ] ~docv:"S0" ~doc)
+  in
+  let run path engine order shift band json strict quiet jobs trace stats =
+   safely ~netlist:path @@ fun () ->
+    apply_jobs jobs;
+    with_obs trace stats @@ fun () ->
+    let engines =
+      if engine = "all" then Sympvl.Rom.all
+      else
+        match Sympvl.Rom.of_name engine with
+        | Some e -> [ e ]
+        | None ->
+          Printf.eprintf "symor: unknown engine %S (try --engine help)\n" engine;
+          exit 1
+    in
+    let nl = load path in
+    let mna = Circuit.Mna.auto nl in
+    let findings = ref [] in
+    List.iter
+      (fun eng ->
+        match Sympvl.Rom.supports eng mna with
+        | Error why ->
+          if not json then
+            Format.printf "%s: skipping %s (unsupported: %s)@." (Sympvl.Rom.name eng)
+              path why
+        | Ok () ->
+          let rep = certify_one ~order ~shift ~band eng mna in
+          findings := !findings @ rep.Sympvl.Certify.findings;
+          if not json then begin
+            Format.printf "%s:@." (Sympvl.Rom.name eng);
+            print_diagnostics ~quiet rep.Sympvl.Certify.findings;
+            match rep.Sympvl.Certify.safe_order with
+            | Some k -> Format.printf "  suggested safe order: %d@." k
+            | None -> ()
+          end)
+      engines;
+    let ds = !findings in
+    if json then print_string (Circuit.Diagnostic.list_to_json ds ^ "\n")
+    else begin
+      let e = Circuit.Diagnostic.count Circuit.Diagnostic.Error ds in
+      let w = Circuit.Diagnostic.count Circuit.Diagnostic.Warning ds in
+      if e = 0 && w = 0 then
+        Format.printf "certified clean (%d info)@."
+          (Circuit.Diagnostic.count Circuit.Diagnostic.Info ds)
+      else Format.printf "%d error(s), %d warning(s)@." e w
+    end;
+    exit (Circuit.Diagnostic.exit_code ~strict ds)
+  in
+  let doc =
+    "Certify a reduced model (MOD001-MOD009): pole stability, the structural \
+     passivity certificate, the Hamiltonian imaginary-axis passivity test \
+     (locates violation bands a sampling grid misses), reciprocity, moment \
+     matching against the exact pencil, DC exactness, shift-regime and drift \
+     checks. Every engine goes through the same state-space adapter, so \
+     $(b,--engine all) compares them uniformly. Exit code: 0 clean, 1 \
+     warnings only, 2 errors (or warnings under $(b,--strict))."
+  in
+  Cmd.v (Cmd.info "certify" ~doc)
+    Term.(
+      const run $ netlist_arg $ engine_arg $ order_arg $ shift_arg $ band_arg
+      $ json_arg $ strict_arg $ quiet_arg $ jobs_arg $ trace_arg $ stats_arg)
+
 let reduce_cmd =
   let shift_arg =
     let doc =
@@ -300,7 +413,7 @@ let reduce_cmd =
      under --check the deviation from exact AC analysis on the band.
      Unsupported engine/netlist pairs are skipped with exit 0 so a
      matrix loop over examples × engines stays a one-liner. *)
-  let run_engine eng mna path ~order ~shift ~band ~check =
+  let run_engine eng mna path ~order ~shift ~band ~check ~certify =
     match Sympvl.Rom.supports eng mna with
     | Error why ->
       Format.printf "%s: skipping %s (unsupported: %s)@." (Sympvl.Rom.name eng) path why
@@ -333,14 +446,25 @@ let reduce_cmd =
         in
         Format.printf "max relative error on [%g, %g] Hz: %.3e@." f_lo f_hi
           (Simulate.Ac.max_rel_error sw zm)
+      end;
+      if certify then begin
+        let rep = certify_one ~order ~shift ~band eng mna in
+        Format.printf "certification:@.";
+        print_diagnostics rep.Sympvl.Certify.findings;
+        let c = Circuit.Diagnostic.exit_code ~strict:false rep.Sympvl.Certify.findings in
+        if c > 0 then exit c
       end
   in
-  let run verbose path order band shift engine synth_out poles check adaptive jobs trace
-      stats =
+  let run verbose path order band shift engine synth_out poles check certify adaptive
+      jobs trace stats =
     (if engine = "help" then begin
        List.iter
          (fun e -> Printf.printf "%-8s %s\n" (Sympvl.Rom.name e) (Sympvl.Rom.describe e))
          Sympvl.Rom.all;
+       Printf.printf
+         "\nEvery claim above is checkable on the model an engine actually \
+          produced:\n`symor certify <netlist> --engine <name>` (or `reduce \
+          --certify`) runs the\nMOD001-MOD009 certification pass.\n";
        exit 0
      end);
    safely ~netlist:path @@ fun () ->
@@ -362,7 +486,7 @@ let reduce_cmd =
           "symor: --adaptive/--synth/--poles are SyMPVL-only (drop --engine)\n";
         exit 1
       end;
-      run_engine eng mna path ~order ~shift ~band ~check
+      run_engine eng mna path ~order ~shift ~band ~check ~certify
     end
     else
     let opts = { (Sympvl.Reduce.default ~order) with Sympvl.Reduce.band; shift } in
@@ -417,7 +541,25 @@ let reduce_cmd =
        Format.printf "contract violation(s) detected@.";
        exit 2
      end);
-    match synth_out with
+    let cert_exit =
+      if not certify then 0
+      else begin
+        let rep =
+          Sympvl.Certify.run
+            ~ctx:(Sympvl.Pencil.create mna)
+            ?drift_band:band
+            ~shift_requested:(shift <> None)
+            (Sympvl.Rom.Sympvl_model model) mna
+        in
+        Format.printf "certification:@.";
+        print_diagnostics rep.Sympvl.Certify.findings;
+        (match rep.Sympvl.Certify.safe_order with
+        | Some k -> Format.printf "  suggested safe order: %d@." k
+        | None -> ());
+        Circuit.Diagnostic.exit_code ~strict:false rep.Sympvl.Certify.findings
+      end
+    in
+    (match synth_out with
     | None -> ()
     | Some out ->
       let port_names = mna.Circuit.Mna.port_names in
@@ -439,7 +581,16 @@ let reduce_cmd =
       let oc = open_out out in
       output_string oc (Circuit.Parser.to_string syn);
       close_out oc;
-      Format.printf "synthesized: %s -> %s@." st out
+      Format.printf "synthesized: %s -> %s@." st out);
+    if cert_exit > 0 then exit cert_exit
+  in
+  let certify_arg =
+    let doc =
+      "Run the full MOD001-MOD009 certification pass on the reduced model \
+       (see $(b,symor certify)); findings print under \"certification:\" and \
+       escalate the exit code like a standalone certify run."
+    in
+    Arg.(value & flag & info [ "certify" ] ~doc)
   in
   let adaptive_arg =
     let doc =
@@ -452,8 +603,8 @@ let reduce_cmd =
   Cmd.v (Cmd.info "reduce" ~doc)
     Term.(
       const run $ verbose_arg $ netlist_arg $ order_arg $ band_arg $ shift_arg
-      $ engine_arg $ synth_arg $ poles_arg $ check_arg $ adaptive_arg $ jobs_arg
-      $ trace_arg $ stats_arg)
+      $ engine_arg $ synth_arg $ poles_arg $ check_arg $ certify_arg $ adaptive_arg
+      $ jobs_arg $ trace_arg $ stats_arg)
 
 let ac_cmd =
   let points_arg =
@@ -568,6 +719,7 @@ let () =
   Printexc.record_backtrace true;
   let doc = "SyMPVL reduced-order modeling of linear passive multi-ports" in
   let main = Cmd.group (Cmd.info "symor" ~version:"1.0.0" ~doc)
-      [ info_cmd; lint_cmd; analyze_cmd; reduce_cmd; ac_cmd; sparams_cmd; tran_cmd ]
+      [ info_cmd; lint_cmd; analyze_cmd; reduce_cmd; certify_cmd; ac_cmd; sparams_cmd;
+        tran_cmd ]
   in
   exit (Cmd.eval main)

@@ -158,6 +158,13 @@ let reduce ?ctx ?opts ~order engine (m : Circuit.Mna.t) =
            "balanced truncation: the assembled pencil is not positive definite \
             (singular C or indefinite congruence)"))
 
+let engine_of_model = function
+  | Sympvl_model _ -> `Sympvl
+  | Mpvl_model _ -> `Mpvl
+  | Prima_model _ -> `Prima
+  | Awe_model _ -> `Awe
+  | Bt_model _ -> `Bt
+
 let eval model s =
   match model with
   | Sympvl_model m -> Model.eval m s
@@ -189,3 +196,16 @@ let shift = function
   | Prima_model m -> m.Arnoldi.shift
   | Awe_model m -> m.Awe.shift
   | Bt_model _ -> 0.0
+
+(* the number of matrix moments each algorithm matches by construction
+   (paper Section 3.2 for the Lanczos engines; Grimme for Arnoldi;
+   2·order scalar moments define the AWE Hankel system; balanced
+   truncation optimises the H-infinity error, not moments) *)
+let expected_moments model =
+  let two_sided n p = 2 * (n / p) in
+  match model with
+  | Sympvl_model m -> two_sided m.Model.order m.Model.p
+  | Mpvl_model m -> two_sided m.Mpvl.order m.Mpvl.p
+  | Prima_model m -> m.Arnoldi.order / m.Arnoldi.p
+  | Awe_model m -> 2 * m.Awe.order
+  | Bt_model _ -> 0

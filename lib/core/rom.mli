@@ -38,7 +38,11 @@ val of_name : string -> engine option
 
 val describe : engine -> string
 (** One-line summary of the algorithm and its guarantees, as printed
-    by [symor reduce --engine help] and the README table. *)
+    by [symor reduce --engine help] and the README table. The
+    guarantees are not taken on faith: [symor certify]
+    ({!Certify.run}) re-derives each claim — stability, passivity,
+    moment matching — on the model the engine actually produced,
+    through the engine-uniform {!Certify.state_space} adapter. *)
 
 val golden_rtol : engine -> float
 (** Documented worst-case relative deviation from the exact AC golden
@@ -84,3 +88,14 @@ val ports : model -> int
 val shift : model -> float
 (** Expansion point actually used ([0.] for balanced truncation,
     which has none). *)
+
+val engine_of_model : model -> engine
+
+val expected_moments : model -> int
+(** The number of matrix moments the algorithm matches by
+    construction at its expansion point: [2⌊n/p⌋] for the two-sided
+    Lanczos engines (SyMPVL/MPVL, paper Section 3.2), [⌊n/p⌋] for
+    PRIMA's one-sided congruence, [2·order] scalar moments for AWE,
+    and [0] for balanced truncation (which optimises the H∞ error,
+    not moments). [Certify] verifies this count against
+    {!Moments.exact} (rule MOD005). *)

@@ -22,10 +22,27 @@ type passivity_certificate =
 
 val passivity_certificate : ?tol:float -> Model.t -> passivity_certificate
 
+val model_pencil : Model.t -> Linalg.Hamiltonian.pencil
+(** The model's physical-frequency descriptor pencil — the same
+    realisation the engine-uniform [symor certify] adapter
+    ({!Certify.state_space}) produces for a SyMPVL model. *)
+
+val passivity_bands : ?tol:float -> Model.t -> Linalg.Hamiltonian.band list
+(** Exact passivity violation bands of the model via the Hamiltonian
+    imaginary-axis eigenvalue test
+    ({!Linalg.Hamiltonian.violation_bands}) — finds every interval
+    where [min eig Re Z(jω) < −tol·|Z|], including bands narrower than
+    any sampling grid. Empty list ⇒ passive on the whole axis. *)
+
 val passivity_sample :
   ?tol:float -> omegas:float array -> Model.t -> (float * float) option
 (** Sample [min eig ((Zₙ(jω) + Zₙ(jω)ᴴ)/2)] over the grid; returns
     [Some (ω, λmin)] for the worst violation below [−tol], [None] if
-    the sweep finds no violation. *)
+    the sweep finds no violation.
+
+    {b Deprecated} (kept for grid-compatible reporting): a finite grid
+    proves nothing between its points and misses narrow violation
+    bands entirely — prefer {!passivity_bands}, which locates them
+    exactly, or the full [symor certify] pass ({!Certify.run}). *)
 
 val unstable_poles : Model.t -> Complex.t array

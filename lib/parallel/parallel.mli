@@ -16,8 +16,12 @@ module Pool : sig
   type t
 
   val create : jobs:int -> t
-  (** [create ~jobs] starts a pool of [max 1 jobs] workers
-      ([jobs − 1] spawned domains). *)
+  (** [create ~jobs] starts a pool of [max 1 jobs] workers. At most
+      [Domain.recommended_domain_count () − 1] domains are actually
+      spawned (the calling domain is always a worker): oversubscribing
+      the machine only slows every batch down, and with no spawned
+      workers the loops degrade to sequential — bitwise-identical
+      results either way. *)
 
   val jobs : t -> int
 
@@ -55,6 +59,11 @@ val set_jobs : int -> unit
 val get : unit -> Pool.t
 (** The lazily-created shared pool, sized by {!set_jobs} if called,
     else {!default_jobs}. Shut down automatically at exit. *)
+
+val pool_for : jobs:int -> Pool.t
+(** A pool with an explicit job count, cached per count and reused
+    across calls (shut down at exit) — callers that pass [?jobs]
+    repeatedly must not pay domain spawn/join on every invocation. *)
 
 val jobs : unit -> int
 (** Job count {!get} uses (without forcing pool creation). *)

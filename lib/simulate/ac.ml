@@ -80,8 +80,8 @@ let sweep ?jobs (m : Circuit.Mna.t) freqs =
     | Some j ->
       if j <= 1 then Array.init (Array.length freqs) point
       else
-        Parallel.Pool.with_pool ~jobs:j (fun pool ->
-            Parallel.Pool.parallel_map pool (Array.length freqs) point)
+        Parallel.Pool.parallel_map (Parallel.pool_for ~jobs:j) (Array.length freqs)
+          point
     | None ->
       Parallel.Pool.parallel_map (Parallel.get ()) (Array.length freqs) point
   in
