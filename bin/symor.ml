@@ -59,6 +59,24 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+(* after a sanitized run (SYMOR_SAN=race,fp), recorded findings are a
+   hard failure: report them in the shared diagnostic format on stderr
+   and exit 2, the same contract as lint errors *)
+let report_san () =
+  match San.findings () with
+  | [] -> ()
+  | fs ->
+    let ds =
+      List.map
+        (fun f ->
+          Circuit.Diagnostic.error f.San.san_code f.San.san_message)
+        fs
+    in
+    List.iter
+      (fun d -> Format.eprintf "symor: sanitizer: %a@." Circuit.Diagnostic.pp d)
+      ds;
+    exit 2
+
 (* enable tracing before the work, export/summarise after it. The
    stats table goes to stderr so it never corrupts CSV on stdout. *)
 let with_obs trace stats f =
@@ -70,6 +88,9 @@ let with_obs trace stats f =
       Printf.eprintf "trace written to %s\n%!" path)
     trace;
   if stats then prerr_string (Obs.stats_table ());
+  (* also catches a misspelled SYMOR_SAN mode (SAN001): a run the user
+     believed was sanitized but was not must not exit 0 *)
+  report_san ();
   r
 
 let order_arg =
@@ -89,6 +110,10 @@ let safely ?netlist f =
   | Circuit.Parser.Parse_error (line, msg) ->
     Printf.eprintf "symor: parse error at line %d: %s\n" line msg;
     exit 1
+  | San.Violation msg ->
+    (* a checked-pool race is a determinism bug, not a user error *)
+    Printf.eprintf "symor: sanitizer: %s\n" msg;
+    exit 2
   | Circuit.Diagnostic.User_error msg ->
     Printf.eprintf "symor: %s\n" msg;
     exit 1

@@ -232,7 +232,7 @@ let run ?(dtol = 1e-8) ?(ctol = 1e-10) ?(full_ortho = true) ~n_max ~op ~j ~start
            let lo = !gamma_v in
            List.iter
              (fun g -> if g < lo then ortho_against_cluster v g n_cur)
-             (List.sort_uniq compare !iv);
+             (List.sort_uniq Int.compare !iv);
            for g = lo to !n_gamma - 1 do
              ortho_against_cluster v g n_cur
            done;

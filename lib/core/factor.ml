@@ -79,13 +79,20 @@ let of_dense a =
   Obs.with_span "factor.dense" @@ fun () ->
   match Linalg.Ldlt.factor a with
   | fac ->
+    let solve =
+      if San.fp () then (fun b ->
+        let x = Linalg.Ldlt.solve fac b in
+        San.Fp.check_array ~name:"factor.dense_solve" x;
+        x)
+      else Linalg.Ldlt.solve fac
+    in
     {
       n;
       j = Linalg.Ldlt.j_diag fac;
       definite = Linalg.Ldlt.is_definite fac;
       apply_m_inv = Linalg.Ldlt.apply_m_inv fac;
       apply_mt_inv = Linalg.Ldlt.apply_mt_inv fac;
-      solve = Linalg.Ldlt.solve fac;
+      solve;
       kind = `Dense;
     }
   | exception Linalg.Ldlt.Singular i -> raise (Singular i)

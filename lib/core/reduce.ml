@@ -117,6 +117,7 @@ let to_accuracy ?opts ?max_order ?(points = 25) ~tol ~band (m : Circuit.Mna.t) =
     (* the error-probe grid: points are independent model evaluations,
        so they run on the shared pool (deterministic at any job count) *)
     Parallel.Pool.parallel_map (Parallel.get ()) (Array.length freqs) (fun i ->
+        if San.race () then San.Race.note_write ~tag:"reduce.grid" i;
         Model.eval model (Linalg.Cx.im (2.0 *. Float.pi *. freqs.(i))))
   in
   let deviation za zb =

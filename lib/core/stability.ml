@@ -48,20 +48,6 @@ let model_pencil (model : Model.t) =
 let passivity_bands ?tol model =
   Linalg.Hamiltonian.violation_bands ?tol (model_pencil model)
 
-let passivity_sample ?(tol = 1e-9) ~omegas model =
-  let worst = ref None in
-  Array.iter
-    (fun w ->
-      let z = Model.eval_jw model w in
-      let me = Linalg.Cmat.min_eig_hermitian (Linalg.Cmat.hermitian_part z) in
-      let scale = Float.max (Linalg.Cmat.max_abs z) 1e-300 in
-      if me < -.tol *. scale then
-        match !worst with
-        | Some (_, m) when m <= me -> ()
-        | _ -> worst := Some (w, me))
-    omegas;
-  !worst
-
 let unstable_poles model =
   let scale = pole_scale model in
   Array.of_list

@@ -18,7 +18,7 @@ type passivity_certificate =
       (** [J = I] but [Tₙ] has the given negative eigenvalue. *)
   | Not_applicable
       (** Indefinite [J] (general RLC) or a nonzero expansion shift:
-          no structural certificate; use {!passivity_sample}. *)
+          no structural certificate; use {!passivity_bands}. *)
 
 val passivity_certificate : ?tol:float -> Model.t -> passivity_certificate
 
@@ -33,16 +33,5 @@ val passivity_bands : ?tol:float -> Model.t -> Linalg.Hamiltonian.band list
     ({!Linalg.Hamiltonian.violation_bands}) — finds every interval
     where [min eig Re Z(jω) < −tol·|Z|], including bands narrower than
     any sampling grid. Empty list ⇒ passive on the whole axis. *)
-
-val passivity_sample :
-  ?tol:float -> omegas:float array -> Model.t -> (float * float) option
-(** Sample [min eig ((Zₙ(jω) + Zₙ(jω)ᴴ)/2)] over the grid; returns
-    [Some (ω, λmin)] for the worst violation below [−tol], [None] if
-    the sweep finds no violation.
-
-    {b Deprecated} (kept for grid-compatible reporting): a finite grid
-    proves nothing between its points and misses narrow violation
-    bands entirely — prefer {!passivity_bands}, which locates them
-    exactly, or the full [symor certify] pass ({!Certify.run}). *)
 
 val unstable_poles : Model.t -> Complex.t array

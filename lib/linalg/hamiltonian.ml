@@ -155,7 +155,7 @@ let crossings ?(rtol = 1e-4) ~level pen =
            if re <= rtol *. Float.max (Cx.abs s) 1.0 && im > 1e-10 then
              Some (im *. ws)
            else None)
-    |> List.sort_uniq compare
+    |> List.sort_uniq Float.compare
     |> fun ws_list ->
     (* merge numerically coincident crossings (the ± pair of a real
        eigenvalue of the Hamiltonian pencil, plus eig roundoff) *)

@@ -1,16 +1,19 @@
 type arg = Int of int | Float of float | Str of string
 
-(* The switch. A plain bool ref: every disabled probe is one load and
+(* The switch. An atomic bool: every disabled probe is one load and
    one branch, no allocation (the [bench obs] gate and test_obs verify
-   this). *)
-let on = ref false
+   this), and flipping it from one domain is immediately sound to
+   observe from any other. *)
+let on = Atomic.make false
 
-let tracing () = !on [@@inline]
+let tracing () = Atomic.get on [@@inline]
 
 let now = Unix.gettimeofday
 
-(* Trace epoch: Chrome-trace timestamps are microseconds since this. *)
-let t0 = ref (now ())
+(* Trace epoch: Chrome-trace timestamps are microseconds since this.
+   Atomic for the same reason as [on]: enable/reset may race with a
+   worker domain stamping an event. *)
+let t0 = Atomic.make (now ())
 
 (* ------------------------------------------------------------------ *)
 (* Per-domain buffers                                                  *)
@@ -64,10 +67,10 @@ let push b e =
   b.len <- b.len + 1
 
 let enable () =
-  t0 := now ();
-  on := true
+  Atomic.set t0 (now ());
+  Atomic.set on true
 
-let disable () = on := false
+let disable () = Atomic.set on false
 
 let reset () =
   Mutex.lock registry_mutex;
@@ -79,28 +82,28 @@ let reset () =
       Hashtbl.reset b.gauges)
     !registry;
   Mutex.unlock registry_mutex;
-  t0 := now ()
+  Atomic.set t0 (now ())
 
 (* ------------------------------------------------------------------ *)
 (* Probes                                                              *)
 
 let span_begin ?(args = []) name =
-  if !on then push (buf ()) (B (name, now (), args))
+  if Atomic.get on then push (buf ()) (B (name, now (), args))
 
-let span_end () = if !on then push (buf ()) (E (now ()))
+let span_end () = if Atomic.get on then push (buf ()) (E (now ()))
 
 let with_span name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     span_begin name;
     Fun.protect ~finally:span_end f
   end
 
 let instant ?(args = []) name =
-  if !on then push (buf ()) (I (name, now (), args))
+  if Atomic.get on then push (buf ()) (I (name, now (), args))
 
 let count name n =
-  if !on then begin
+  if Atomic.get on then begin
     let b = buf () in
     match Hashtbl.find_opt b.counters name with
     | Some r -> r := !r +. float_of_int n
@@ -108,14 +111,14 @@ let count name n =
   end
 
 let countf name x =
-  if !on then begin
+  if Atomic.get on then begin
     let b = buf () in
     match Hashtbl.find_opt b.counters name with
     | Some r -> r := !r +. x
     | None -> Hashtbl.add b.counters name (ref x)
   end
 
-let gauge name v = if !on then Hashtbl.replace (buf ()).gauges name (now (), v)
+let gauge name v = if Atomic.get on then Hashtbl.replace (buf ()).gauges name (now (), v)
 
 (* ------------------------------------------------------------------ *)
 (* Join: merge the per-domain buffers                                  *)
@@ -125,7 +128,7 @@ let all_bufs () =
   let bs = !registry in
   Mutex.unlock registry_mutex;
   (* stable presentation order: by domain id *)
-  List.sort (fun a b -> compare a.dom b.dom) bs
+  List.sort (fun a b -> Int.compare a.dom b.dom) bs
 
 let counters () =
   let merged = Hashtbl.create 32 in
@@ -139,7 +142,7 @@ let counters () =
         b.counters)
     (all_bufs ());
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) merged []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counter_value name =
   List.fold_left
@@ -167,7 +170,7 @@ let gauge_value name =
 
 let gauges () =
   Hashtbl.fold (fun name (_, v) acc -> (name, v) :: acc) (gauges_merged ()) []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 type span_stat = {
   span_name : string;
@@ -213,7 +216,7 @@ let span_stats () =
       done)
     (all_bufs ());
   Hashtbl.fold (fun _ r acc -> !r :: acc) agg []
-  |> List.sort (fun a b -> compare b.total_s a.total_s)
+  |> List.sort (fun a b -> Float.compare b.total_s a.total_s)
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)
@@ -250,7 +253,7 @@ let json_args args =
     in
     Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
 
-let us ts = (ts -. !t0) *. 1e6
+let us ts = (ts -. Atomic.get t0) *. 1e6
 
 let export_chrome () =
   let out = Buffer.create 65536 in

@@ -25,8 +25,17 @@ module Pool = struct
       let job = match t.job with Some f -> f | None -> fun () -> () in
       Mutex.unlock t.mutex;
       (* the thunk traps its own exceptions; this is a backstop so a
-         worker domain can never die and leave a batch hanging *)
-      (try job () with _ -> ());
+         worker domain can never die and leave a batch hanging. A trap
+         firing means the thunk's own handler failed — record it so a
+         dying batch is at least visible in --stats instead of being
+         silently dropped. *)
+      (try job ()
+       with e ->
+         if Obs.tracing () then
+           Obs.instant
+             ~args:[ ("exn", Obs.Str (Printexc.to_string e)) ]
+             "pool.worker_trap";
+         Obs.count "pool.worker_trap" 1);
       Mutex.lock t.mutex;
       t.pending <- t.pending - 1;
       if t.pending = 0 then Condition.broadcast t.work_done;
@@ -94,7 +103,15 @@ module Pool = struct
 
   let parallel_for t ?chunk n body =
     if n > 0 then
-      if t.jobs = 1 || n = 1 || Array.length t.domains = 0 || not (Mutex.try_lock t.busy)
+      (* in race mode a multi-job loop goes through the checked batch
+         even when no worker was actually spawned (1-core box):
+         run_batch degenerates to running the thunk on the caller, and
+         the claim/coverage checks still hold. With sanitizers off the
+         degrade condition is exactly the historical one. *)
+      if
+        t.jobs = 1 || n = 1
+        || (Array.length t.domains = 0 && not (San.race ()))
+        || not (Mutex.try_lock t.busy)
       then
         for i = 0 to n - 1 do
           body i
@@ -114,6 +131,26 @@ module Pool = struct
                 ~args:
                   [ ("n", Obs.Int n); ("chunks", Obs.Int nchunks); ("jobs", Obs.Int t.jobs) ]
                 "pool.batch";
+            (* checked-pool mode (SYMOR_SAN=race): every index claims
+               its ownership slot before the body runs, the chunk claim
+               order is perturbed by a seeded permutation so schedule-
+               dependent bugs surface, and the join verifies coverage.
+               Slot→index assignment is untouched, so results stay
+               bitwise identical. *)
+            let batch = if San.race () then Some (San.Race.batch_begin ~n) else None in
+            let perm =
+              match batch with
+              | Some _ -> San.Race.permute ~seed:(San.Race.schedule_seed ()) nchunks
+              | None -> [||]
+            in
+            let body =
+              match batch with
+              | Some b ->
+                fun i ->
+                  San.Race.claim b i;
+                  body i
+              | None -> body
+            in
             let next = Atomic.make 0 in
             let err = Atomic.make None in
             let thunk () =
@@ -122,6 +159,7 @@ module Pool = struct
                 let c = Atomic.fetch_and_add next 1 in
                 if c >= nchunks || Atomic.get err <> None then continue := false
                 else begin
+                  let c = match batch with Some _ -> perm.(c) | None -> c in
                   try
                     for i = c * chunk to min n ((c + 1) * chunk) - 1 do
                       body i
@@ -135,8 +173,10 @@ module Pool = struct
             run_batch t thunk;
             if Obs.tracing () then Obs.span_end ();
             match Atomic.get err with
-            | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-            | None -> ())
+            | Some (e, bt) ->
+              Option.iter San.Race.batch_abort batch;
+              Printexc.raise_with_backtrace e bt
+            | None -> Option.iter San.Race.batch_end batch)
 
   let parallel_map t ?chunk n f =
     if n <= 0 then [||]
@@ -159,46 +199,99 @@ let default_jobs () =
     | _ -> auto ())
   | None -> auto ()
 
-let shared : Pool.t option ref = ref None
+(* All process-wide pool state — the shared pool, the requested job
+   count and the per-count pool cache — is guarded by one mutex:
+   [pool_for] and [get] are safe to call from a worker domain (a
+   nested kernel asking for an explicit-jobs pool), and two racing
+   callers must agree on one pool per job count or determinism is
+   gone. The mutex is never held while waiting for pool work, so it
+   cannot deadlock against a running batch. *)
+let state_mutex = Mutex.create ()
 
-let requested : int option ref = ref None
+let shared : Pool.t option ref = ref None (* guarded by state_mutex *)
 
-let jobs () =
-  match !shared with
-  | Some p -> Pool.jobs p
-  | None -> ( match !requested with Some j -> j | None -> default_jobs ())
-
-let set_jobs j =
-  let j = max 1 j in
-  requested := Some j;
-  match !shared with
-  | Some p when Pool.jobs p <> j ->
-    Pool.shutdown p;
-    shared := None
-  | _ -> ()
-
-let () = at_exit (fun () -> Option.iter Pool.shutdown !shared)
+let requested : int option ref = ref None (* guarded by state_mutex *)
 
 (* explicit-jobs pools, cached by job count: an AC sweep called in a
    loop (bench, adaptive reduction) must not pay domain spawn/join per
    call — that cost dwarfs the sweep itself at small point counts *)
-let sized : (int, Pool.t) Hashtbl.t = Hashtbl.create 4
+let sized : (int, Pool.t) Hashtbl.t = Hashtbl.create 4 (* guarded by state_mutex *)
+
+let jobs () =
+  Mutex.lock state_mutex;
+  let j =
+    match !shared with
+    | Some p -> Pool.jobs p
+    | None -> ( match !requested with Some j -> j | None -> default_jobs ())
+  in
+  Mutex.unlock state_mutex;
+  j
+
+let set_jobs j =
+  let j = max 1 j in
+  Mutex.lock state_mutex;
+  requested := Some j;
+  let stale =
+    match !shared with
+    | Some p when Pool.jobs p <> j ->
+      shared := None;
+      Some p
+    | _ -> None
+  in
+  Mutex.unlock state_mutex;
+  (* join the replaced pool's domains outside the lock: a worker of
+     some other pool may be blocked on [jobs ()] right now *)
+  Option.iter Pool.shutdown stale
 
 let pool_for ~jobs =
   let jobs = max 1 jobs in
+  Mutex.lock state_mutex;
   match Hashtbl.find_opt sized jobs with
-  | Some p -> p
-  | None ->
-    let p = Pool.create ~jobs in
-    Hashtbl.add sized jobs p;
+  | Some p ->
+    Mutex.unlock state_mutex;
     p
+  | None -> (
+    (* create under the lock: two racing callers must get the same
+       pool, not spawn one each (the san race test pins this) *)
+    match Pool.create ~jobs with
+    | p ->
+      Hashtbl.add sized jobs p;
+      Mutex.unlock state_mutex;
+      p
+    | exception e ->
+      Mutex.unlock state_mutex;
+      raise e)
 
-let () = at_exit (fun () -> Hashtbl.iter (fun _ p -> Pool.shutdown p) sized)
+let pool_count () =
+  Mutex.lock state_mutex;
+  let n = Hashtbl.length sized in
+  Mutex.unlock state_mutex;
+  n
 
 let get () =
+  Mutex.lock state_mutex;
   match !shared with
-  | Some p -> p
-  | None ->
-    let p = Pool.create ~jobs:(jobs ()) in
-    shared := Some p;
+  | Some p ->
+    Mutex.unlock state_mutex;
     p
+  | None -> (
+    let j = match !requested with Some j -> j | None -> default_jobs () in
+    match Pool.create ~jobs:j with
+    | p ->
+      shared := Some p;
+      Mutex.unlock state_mutex;
+      p
+    | exception e ->
+      Mutex.unlock state_mutex;
+      raise e)
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock state_mutex;
+      let pools = Hashtbl.fold (fun _ p acc -> p :: acc) sized [] in
+      Hashtbl.reset sized;
+      let s = !shared in
+      shared := None;
+      Mutex.unlock state_mutex;
+      Option.iter Pool.shutdown s;
+      List.iter Pool.shutdown pools)

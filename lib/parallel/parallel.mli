@@ -40,7 +40,16 @@ module Pool : sig
       independent. The first exception raised by any iteration is
       re-raised in the caller after all workers have stopped. Nested
       calls (from inside a [body]) run sequentially rather than
-      deadlock. *)
+      deadlock.
+
+      Under [SYMOR_SAN=race] ({!San.race}) pooled batches run {e
+      checked}: every index claims a per-batch ownership slot before
+      its body runs, the chunk claim order is perturbed by a seeded
+      permutation ([SYMOR_SAN_SEED]) to surface schedule-dependent
+      bugs, and the join verifies every slot ran exactly once —
+      violations raise {!San.Violation} in the caller. Slot→index
+      assignment is unchanged, so checked results are still bitwise
+      identical to sequential runs. *)
 
   val parallel_map : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
   (** [parallel_map pool n f] is [Array.init n f] with the iterations
@@ -63,7 +72,15 @@ val get : unit -> Pool.t
 val pool_for : jobs:int -> Pool.t
 (** A pool with an explicit job count, cached per count and reused
     across calls (shut down at exit) — callers that pass [?jobs]
-    repeatedly must not pay domain spawn/join on every invocation. *)
+    repeatedly must not pay domain spawn/join on every invocation.
+    Safe to call from a worker domain: the process-wide pool state is
+    mutex-guarded, and concurrent callers always agree on one pool per
+    job count. *)
+
+val pool_count : unit -> int
+(** Number of distinct explicit-jobs pools currently cached — the san
+    race test pins that concurrent {!pool_for} calls never duplicate a
+    pool. *)
 
 val jobs : unit -> int
 (** Job count {!get} uses (without forcing pool creation). *)

@@ -1,0 +1,195 @@
+exception Violation of string
+
+type finding = { san_code : string; san_message : string }
+
+(* Mode flags live in atomics: the disabled probe is one load and a
+   branch, safe to read from any domain, and the test hook [set] can
+   flip them without synchronising with in-flight readers. *)
+let race_on = Atomic.make false
+
+let fp_on = Atomic.make false
+
+let race () = Atomic.get race_on
+
+let fp () = Atomic.get fp_on
+
+let enabled () = race () || fp ()
+
+let set ?race ?fp () =
+  (match race with Some v -> Atomic.set race_on v | None -> ());
+  match fp with Some v -> Atomic.set fp_on v | None -> ()
+
+(* fp findings: appended under a mutex (cold path — a finding means
+   the run is already broken), read the same way. *)
+let findings_mutex = Mutex.create ()
+
+let recorded : finding list ref = ref []
+
+let max_findings = 100
+
+let record ~code msg =
+  if Obs.tracing () then Obs.instant ~args:[ ("msg", Obs.Str msg) ] ("san." ^ code);
+  Obs.count ("san." ^ code) 1;
+  Mutex.lock findings_mutex;
+  if List.length !recorded < max_findings then
+    recorded := !recorded @ [ { san_code = code; san_message = msg } ];
+  Mutex.unlock findings_mutex
+
+let findings () =
+  Mutex.lock findings_mutex;
+  let fs = !recorded in
+  Mutex.unlock findings_mutex;
+  fs
+
+let clear_findings () =
+  Mutex.lock findings_mutex;
+  recorded := [];
+  Mutex.unlock findings_mutex
+
+let () =
+  match Sys.getenv_opt "SYMOR_SAN" with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun tok ->
+        match String.trim tok with
+        | "" -> ()
+        | "race" -> Atomic.set race_on true
+        | "fp" -> Atomic.set fp_on true
+        | tok ->
+          record ~code:"SAN001"
+            (Printf.sprintf "unknown SYMOR_SAN mode %S (known: race, fp)" tok))
+      (String.split_on_char ',' s)
+
+module Race = struct
+  type batch = { slots : int Atomic.t array }
+
+  (* kernel-level write registry: (tag, slot) -> writer domain. Only
+     touched in race mode, always under the mutex — correctness of the
+     checker itself must not depend on the property it is checking. *)
+  let writes_mutex = Mutex.create ()
+
+  let writes : (string * int, int) Hashtbl.t = Hashtbl.create 64
+
+  (* > 0 while a checked batch is open, so [note_write] can be called
+     unconditionally from kernels that also run outside the pool *)
+  let active = Atomic.make 0
+
+  let self () = (Domain.self () :> int)
+
+  let batch_begin ~n =
+    Mutex.lock writes_mutex;
+    Hashtbl.reset writes;
+    Mutex.unlock writes_mutex;
+    Atomic.incr active;
+    { slots = Array.init n (fun _ -> Atomic.make (-1)) }
+
+  let claim b i =
+    let me = self () in
+    if not (Atomic.compare_and_set b.slots.(i) (-1) me) then
+      raise
+        (Violation
+           (Printf.sprintf
+              "SAN201: overlapping writers for batch slot %d (domain %d vs %d)" i
+              (Atomic.get b.slots.(i)) me))
+
+  let close b =
+    ignore b;
+    Atomic.decr active;
+    Mutex.lock writes_mutex;
+    Hashtbl.reset writes;
+    Mutex.unlock writes_mutex
+
+  let batch_end b =
+    let n = Array.length b.slots in
+    let unclaimed = ref (-1) in
+    for i = n - 1 downto 0 do
+      if Atomic.get b.slots.(i) < 0 then unclaimed := i
+    done;
+    close b;
+    if !unclaimed >= 0 then
+      raise
+        (Violation
+           (Printf.sprintf
+              "SAN202: batch slot %d of %d was never written (read of unwritten slot)"
+              !unclaimed n))
+
+  let batch_abort b = close b
+
+  let note_write ~tag i =
+    if Atomic.get active > 0 then begin
+      let me = self () in
+      Mutex.lock writes_mutex;
+      let prev = Hashtbl.find_opt writes (tag, i) in
+      (match prev with None -> Hashtbl.add writes (tag, i) me | Some _ -> ());
+      Mutex.unlock writes_mutex;
+      match prev with
+      | None -> ()
+      | Some d ->
+        raise
+          (Violation
+             (Printf.sprintf
+                "SAN203: output slot %s[%d] written twice (domain %d, then %d)" tag i d
+                me))
+    end
+
+  let default_seed = 0x53414e (* "SAN" *)
+
+  let schedule_seed () =
+    match Sys.getenv_opt "SYMOR_SAN_SEED" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> default_seed)
+    | None -> default_seed
+
+  (* splitmix64 step — self-contained so the sanitizer never touches
+     the ambient Random state (SRC002) *)
+  let mix state =
+    let z = Int64.add !state 0x9E3779B97F4A7C15L in
+    state := z;
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let permute ~seed n =
+    let p = Array.init n (fun i -> i) in
+    let st = ref (Int64.of_int seed) in
+    for i = n - 1 downto 1 do
+      let r = Int64.to_int (Int64.rem (mix st) (Int64.of_int (i + 1))) in
+      let j = if r < 0 then r + i + 1 else r in
+      let t = p.(i) in
+      p.(i) <- p.(j);
+      p.(j) <- t
+    done;
+    p
+end
+
+module Fp = struct
+  let check ~name x =
+    if not (Float.is_finite x) then
+      record ~code:"SAN101" (Printf.sprintf "%s: non-finite value %h" name x)
+
+  let check_array ~name a =
+    let bad = ref (-1) in
+    for i = Array.length a - 1 downto 0 do
+      if not (Float.is_finite a.(i)) then bad := i
+    done;
+    if !bad >= 0 then
+      record ~code:"SAN101"
+        (Printf.sprintf "%s: non-finite value %h at index %d" name a.(!bad) !bad)
+
+  let growth_limit = 1e10
+
+  let growth ~name ~scale ~lmax ~dmax =
+    if not (Float.is_finite lmax && Float.is_finite dmax && Float.is_finite scale) then
+      record ~code:"SAN101"
+        (Printf.sprintf "%s: non-finite factor (|L|max %h, |D|max %h, scale %h)" name
+           lmax dmax scale)
+    else begin
+      let ratio = Float.max lmax (dmax /. Float.max scale 1e-300) in
+      if ratio > growth_limit then
+        record ~code:"SAN102"
+          (Printf.sprintf
+             "%s: element growth %.3e exceeds %.0e (|L|max %.3e, |D|max %.3e, input \
+              scale %.3e) — the factorisation is numerically unreliable"
+             name ratio growth_limit lmax dmax scale)
+    end
+end

@@ -72,7 +72,12 @@ let sweep ?jobs (m : Circuit.Mna.t) freqs =
   if Obs.tracing () then
     Obs.span_begin ~args:[ ("points", Obs.Int (Array.length freqs)) ] "ac.sweep";
   let ws = workspace m in
-  let point k = z_at_ws m ws (Linalg.Cx.im (2.0 *. Float.pi *. freqs.(k))) in
+  let point k =
+    (* checked-pool mode: tag this slot so overlapping writers across
+       concurrently pooled kernels are caught, not just within a batch *)
+    if San.race () then San.Race.note_write ~tag:"ac.point" k;
+    z_at_ws m ws (Linalg.Cx.im (2.0 *. Float.pi *. freqs.(k)))
+  in
   (* every point is independent and written into its own slot, so the
      result is bitwise identical at any job count *)
   let z =

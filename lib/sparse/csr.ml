@@ -34,7 +34,7 @@ let of_triplet tr =
     let len = hi - lo in
     if len > 0 then begin
       let idx = Array.init len (fun k -> lo + k) in
-      Array.sort (fun a b -> compare cj.(a) cj.(b)) idx;
+      Array.sort (fun a b -> Int.compare cj.(a) cj.(b)) idx;
       let k = ref 0 in
       while !k < len do
         let j = cj.(idx.(!k)) in

@@ -157,7 +157,7 @@ let decompose a =
         Csr.iter_row a r (fun j _ ->
             let v = vertex_of_col.(j) in
             if v >= 0 && v <> u then succ := v :: !succ);
-        Array.of_list (List.sort_uniq compare !succ))
+        Array.of_list (List.sort_uniq Int.compare !succ))
       sq_rows
   in
   let comps = tarjan_scc adj in

@@ -11,7 +11,7 @@ let adjacency a =
           sets.(j) <- i :: sets.(j)
         end)
   done;
-  Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) sets
+  Array.map (fun l -> Array.of_list (List.sort_uniq Int.compare l)) sets
 
 (* BFS from [root]; returns (order of visit, last level list) *)
 let bfs adj visited root =
@@ -33,7 +33,7 @@ let bfs adj visited root =
       !frontier;
     (* visit neighbours in increasing degree for the CM property *)
     let next_sorted =
-      List.sort (fun a b -> compare (Array.length adj.(a)) (Array.length adj.(b))) !next
+      List.sort (fun a b -> Int.compare (Array.length adj.(a)) (Array.length adj.(b))) !next
     in
     if next_sorted <> [] then begin
       order := List.rev_append next_sorted !order;

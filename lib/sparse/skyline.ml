@@ -76,6 +76,33 @@ module Make (F : FIELD) = struct
       if F.abs !s <= breakdown then raise (Singular i);
       diag.(i) <- !s
     done;
+    (* fp sanitizer (SYMOR_SAN=fp): scan the factor for NaN/Inf and
+       monitor element growth against the input diagonal scale — reads
+       only, so sanitized results are bitwise identical *)
+    if San.fp () then begin
+      let lmax = ref 0.0 and dmax_out = ref 0.0 and finite = ref true in
+      Array.iter
+        (fun r ->
+          Array.iter
+            (fun x ->
+              let a = F.abs x in
+              if Float.is_finite a then begin
+                if a > !lmax then lmax := a
+              end
+              else finite := false)
+            r)
+        rows;
+      Array.iter
+        (fun x ->
+          let a = F.abs x in
+          if Float.is_finite a then begin
+            if a > !dmax_out then dmax_out := a
+          end
+          else finite := false)
+        diag;
+      if !finite then San.Fp.growth ~name:"skyline.factor" ~scale:!dmax ~lmax:!lmax ~dmax:!dmax_out
+      else San.Fp.growth ~name:"skyline.factor" ~scale:!dmax ~lmax:Float.nan ~dmax:Float.nan
+    end;
     { n; first; rows; diag }
 
   let solve_lower t b =
@@ -110,7 +137,13 @@ module Make (F : FIELD) = struct
     for i = 0 to t.n - 1 do
       y.(i) <- F.div y.(i) t.diag.(i)
     done;
-    solve_lower_t t y
+    let y = solve_lower_t t y in
+    if San.fp () then begin
+      let finite = ref true in
+      Array.iter (fun x -> if not (Float.is_finite (F.abs x)) then finite := false) y;
+      if not !finite then San.Fp.check ~name:"skyline.solve" Float.nan
+    end;
+    y
 end
 
 module Real = Make (struct
@@ -321,6 +354,26 @@ module Complex_soa = struct
       diag_re.(i) <- !sre;
       diag_im.(i) <- !sim
     done;
+    if San.fp () then begin
+      let lmax = ref 0.0 and dmax_out = ref 0.0 and finite = ref true in
+      let scan acc re im =
+        Array.iteri
+          (fun k x ->
+            let a = Float.hypot x im.(k) in
+            if Float.is_finite a then begin
+              if a > !acc then acc := a
+            end
+            else finite := false)
+          re
+      in
+      for i = 0 to n - 1 do
+        scan lmax rows_re.(i) rows_im.(i)
+      done;
+      scan dmax_out diag_re diag_im;
+      if !finite then
+        San.Fp.growth ~name:"skyline.complex_soa" ~scale:!dmax ~lmax:!lmax ~dmax:!dmax_out
+      else San.Fp.growth ~name:"skyline.complex_soa" ~scale:!dmax ~lmax:Float.nan ~dmax:Float.nan
+    end;
     { n; first; rows_re; rows_im; diag_re; diag_im }
 
   (* the traced entry point: one "skyline.numeric" span per frequency
@@ -381,5 +434,9 @@ module Complex_soa = struct
         b_re.(k) <- b_re.(k) -. ((lre *. yre) -. (lim *. yim));
         b_im.(k) <- b_im.(k) -. ((lre *. yim) +. (lim *. yre))
       done
-    done
+    done;
+    if San.fp () then begin
+      San.Fp.check_array ~name:"skyline.solve_split.re" b_re;
+      San.Fp.check_array ~name:"skyline.solve_split.im" b_im
+    end
 end
