@@ -391,7 +391,7 @@ let exact_z ctx (mna : Circuit.Mna.t) w =
     for k = 0 to Array.length ci - 1 do
       x_re.(ci.(k)) <- cv.(k)
     done;
-    Sparse.Skyline.Complex_soa.solve_split fac x_re x_im;
+    Pencil.csolve_split fac x_re x_im;
     for r = 0 to p - 1 do
       let ri = port_idx.(r) and rv = port_val.(r) in
       let sre = ref 0.0 and sim = ref 0.0 in

@@ -8,10 +8,13 @@
 
     - the structural pre-flight (STR001: a pattern with structural
       rank < n is singular for every element value and shift);
-    - the fill-reducing RCM ordering of the merged [G]/[C] pattern;
-    - the merged {!Sparse.Skyline.pencil_env} (both matrices
-      pre-scattered into envelope-aligned rows), so each factorisation
-      — real at any shift, or complex at any frequency — is a pure
+    - the {!Factor.plan} backend decision over the merged [G]/[C]
+      pattern: RCM ordering + skyline envelope, or AMD ordering +
+      supernodal panels ({!Sparse.Supernodal}) for large scattered
+      patterns — forced either way by [SYMOR_FACTOR] / [--factor];
+    - the backend's shared symbolic phase (both matrices pre-scattered
+      into envelope rows or panel slots), so each factorisation —
+      real at any shift, or complex at any frequency — is a pure
       numeric phase;
     - a memo table of real factorisations keyed by shift, so a moment
       check after a reduction at the same expansion point costs only
@@ -27,9 +30,10 @@ type t
 val create : ?ordering:bool -> Circuit.Mna.t -> t
 (** Build the context from an assembled pencil: structural pre-flight
     (raises {!Circuit.Diagnostic.User_error} with an [STR001] message
-    on structural singularity), RCM ordering of the merged pattern
-    (identity when [ordering:false]), envelope symbolic phase, and the
-    per-port sparse patterns of the permuted [B]. *)
+    on structural singularity), backend plan + ordering of the merged
+    pattern (identity-ordered skyline when [ordering:false]), the
+    chosen symbolic phase, and the per-port sparse patterns of the
+    permuted [B]. *)
 
 val of_matrices :
   ?ordering:bool ->
@@ -53,8 +57,8 @@ val p : t -> int
 val perm : t -> int array
 (** Fill-reducing permutation: new index → old index. *)
 
-val env : t -> Sparse.Skyline.pencil_env
-(** The shared symbolic phase (permuted coordinates). *)
+val backend_kind : t -> [ `Skyline | `Supernodal ]
+(** Which sparse backend's symbolic phase this context carries. *)
 
 val port_idx : t -> int array array
 (** Per port, the permuted rows carrying a nonzero of [B] (ascending).
@@ -96,8 +100,9 @@ val with_auto_shift :
 (** {1 Real factorisations} *)
 
 val factor : t -> shift:float -> Factor.t
-(** Factor [G + s₀C = M J Mᵀ] (skyline numeric phase against the
-    shared envelope; dense Bunch–Kaufman fallback on pivot breakdown).
+(** Factor [G + s₀C = M J Mᵀ] (the context's sparse backend against
+    the shared symbolic phase; dense Bunch–Kaufman fallback on pivot
+    breakdown, recorded as the [factor.fallback_dense] counter).
     Results — including singular outcomes — are memoized by shift:
     a repeat call is a cache hit returning the identical factor.
     Raises {!Factor.Singular} when both backends fail. *)
@@ -108,23 +113,34 @@ val factor_with :
     (original coordinates, either triangle) onto the assembled matrix
     before factoring — the transient engine's Newton-Jacobian stamps.
     Never cached. Positions must have been declared with {!reserve}
-    unless they fall inside the pencil envelope already. Skyline only:
-    raises {!Factor.Singular} on breakdown. *)
+    unless they fall inside the symbolic pattern already. Sparse
+    backends only: raises {!Factor.Singular} on breakdown. *)
 
 val reserve : t -> (int * int) array -> unit
-(** Widen the shared envelope so the given (original-coordinate)
-    positions can be stamped by {!factor_with}. The widened rows are
-    structural zeros, so subsequent factorisations are bitwise
+(** Grow the shared symbolic phase so the given (original-coordinate)
+    positions can be stamped by {!factor_with} — envelope widening
+    under skyline, a pattern-augmented symbolic rebuild (same
+    ordering) under supernodal. The added slots are structural zeros,
+    so subsequent stamp-free factorisations are numerically
     unchanged. *)
 
 (** {1 Complex pencil solves} *)
 
-val factor_complex :
-  ?pivot_tol:float -> t -> Complex.t -> Sparse.Skyline.Complex_soa.t
+type cfactor
+(** A factored complex pencil [(G + sC)] in permuted coordinates —
+    skyline or supernodal split-complex, matching the context's
+    backend. *)
+
+val factor_complex : ?pivot_tol:float -> t -> Complex.t -> cfactor
 (** Numeric phase of [G + sC] at a complex point against the shared
-    envelope — the split-complex AC production kernel. The returned
-    factor lives in {e permuted} coordinates; combine with {!perm} /
-    {!port_idx} (as [Simulate.Ac] does) or use {!solve_complex}. *)
+    symbolic phase — the split-complex AC production kernel. The
+    returned factor lives in {e permuted} coordinates; combine with
+    {!perm} / {!port_idx} and {!csolve_split} (as [Simulate.Ac]
+    does) or use {!solve_complex}. *)
+
+val csolve_split : cfactor -> float array -> float array -> unit
+(** [csolve_split fac re im] solves [(G + sC) x = b] in place on the
+    split (permuted-coordinate) right-hand side. *)
 
 val solve_complex :
   t -> Complex.t -> float array -> float array -> float array * float array

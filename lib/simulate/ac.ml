@@ -41,7 +41,7 @@ let z_at_ws (m : Circuit.Mna.t) ws s =
     for k = 0 to Array.length ci - 1 do
       x_re.(ci.(k)) <- cv.(k)
     done;
-    Sparse.Skyline.Complex_soa.solve_split fac x_re x_im;
+    Sympvl.Pencil.csolve_split fac x_re x_im;
     for r = 0 to p - 1 do
       let ri = port_idx.(r) and rv = port_val.(r) in
       let sre = ref 0.0 and sim = ref 0.0 in

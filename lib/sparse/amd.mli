@@ -21,11 +21,24 @@ val order : Csr.t -> int array
     natural (possible on tiny or already-optimal patterns), the
     identity permutation is returned instead.
 
-    Ties are broken by smallest vertex index, so the ordering is
-    deterministic. Complexity [O(n²)] selection plus clique-update
-    set work — fine up to a few thousand unknowns; swap in a
-    bucketed degree structure before pointing it at larger MNA
-    systems. *)
+    Ties are broken deterministically. Two implementations sit behind
+    this entry point: up to 1024 unknowns the exact greedy
+    minimum-degree (O(n²) selection, smallest-index tie-break — the
+    behaviour existing fixtures pin); beyond that the quotient-graph
+    approximate minimum degree ({!order_approx}), which is what makes
+    AMD usable at the 10⁵–10⁶-unknown scale the supernodal backend
+    targets. *)
+
+val order_approx : Csr.t -> int array
+(** Approximate minimum degree (Amestoy–Davis–Duff) on a quotient
+    graph: eliminated pivots become hyperedge {e elements}, external
+    degrees are maintained by the AMD upper bound
+    [|A_i∖Lp| + |Lp∖i| + Σ_e |Le∖Lp|] instead of exact set unions,
+    fully covered elements are absorbed aggressively, and
+    indistinguishable variables (identical edge + element lists) merge
+    into supervariables ordered consecutively. Near-linear in
+    [nnz(L)]; deterministic. No never-worse guard — {!order} applies
+    it. *)
 
 val identity : int -> int array
 (** The identity permutation (ordering disabled). *)

@@ -66,4 +66,50 @@ let of_pattern a =
 
 let factor_nnz t = Array.fold_left ( + ) 0 t.col_counts
 
+(* depth-first postorder of the elimination forest, children visited in
+   ascending index order. Iterative: [child]/[sibling] turn the parent
+   array into explicit first-child lists (built by descending scan, so
+   each list comes out ascending), then an explicit stack walks them. *)
+let postorder t =
+  let n = Array.length t.parent in
+  let child = Array.make n (-1) in
+  let sibling = Array.make n (-1) in
+  let roots = ref [] in
+  for j = n - 1 downto 0 do
+    let p = t.parent.(j) in
+    if p = -1 then roots := j :: !roots
+    else begin
+      sibling.(j) <- child.(p);
+      child.(p) <- j
+    end
+  done;
+  let post = Array.make n 0 in
+  let k = ref 0 in
+  let stack = Stack.create () in
+  List.iter
+    (fun r ->
+      (* two-phase node visits: [Enter] pushes children, [Leave] emits *)
+      Stack.push (r, false) stack;
+      while not (Stack.is_empty stack) do
+        let j, expanded = Stack.pop stack in
+        if expanded then begin
+          post.(!k) <- j;
+          incr k
+        end
+        else begin
+          Stack.push (j, true) stack;
+          let c = ref child.(j) in
+          (* push descending so the ascending-order child is on top *)
+          let cs = ref [] in
+          while !c <> -1 do
+            cs := !c :: !cs;
+            c := sibling.(!c)
+          done;
+          List.iter (fun c -> Stack.push (c, false) stack) !cs
+        end
+      done)
+    !roots;
+  assert (!k = n);
+  post
+
 let predicted_nnz a perm = factor_nnz (of_pattern (Csr.permute_sym a perm))

@@ -31,6 +31,15 @@ val factor_nnz : t -> int
     the nonzero count of a no-pivoting LDLᵀ/Cholesky factor of any
     matrix with this pattern, absent exact cancellation. *)
 
+val postorder : t -> int array
+(** Depth-first postorder of the elimination forest (children in
+    ascending index order, so the result is deterministic), in the
+    {!Csr.permute_sym} convention: [post.(new_index) = old_index].
+    Relabelling a matrix by its etree postorder preserves the factor
+    nonzero count {e exactly} while making every subtree — hence every
+    fundamental supernode — a contiguous index range, which is what
+    the supernodal factorisation requires of its input ordering. *)
+
 val predicted_nnz : Csr.t -> int array -> int
 (** [predicted_nnz a perm] — factor nnz of [P A Pᵀ] under the
     ordering [perm] (old indices in new order, as {!Csr.permute_sym}

@@ -1,0 +1,118 @@
+(** Left-looking supernodal sparse LDLᵀ with dense BLAS-style panel
+    kernels — the scattered-sparsity backend.
+
+    Where {!Skyline} stores each row's contiguous envelope segment
+    (the right shape after an {!Rcm} ordering), this module groups
+    columns with nested factor structure — {e fundamental supernodes}
+    — into dense row-major [len×w] panels and runs the factorisation
+    as dot-product kernels on contiguous float arrays. Combined with
+    an {!Amd} fill-reducing ordering (whose scattered sparsity an
+    envelope cannot represent), it is the backend that scales to the
+    10⁵-unknown circuits the paper's reduction targets; the skyline
+    kernel remains the accuracy oracle it is tested against.
+
+    The symbolic phase is exact: with [relax = 0] the stored factor
+    nonzero count equals {!Etree.predicted_nnz} of the input pattern
+    — no padding, no overallocation. A positive [relax] budget merges
+    near-fundamental chains (relaxed amalgamation), trading at most
+    [relax] stored zeros per supernode for wider panels.
+
+    Input matrices must already be permuted by a fill-reducing
+    ordering composed with an elimination-tree postorder — {!order}
+    builds exactly that — since the postorder is what makes every
+    fundamental supernode a contiguous column range. *)
+
+exception Singular of int
+(** Pivot breakdown at the given (permuted) column, same relative
+    test as {!Skyline.Singular}. *)
+
+type symbolic
+(** The symbolic phase of a pencil factorisation: supernode
+    partition, per-supernode row patterns, and [G]/[C] pre-scattered
+    into panel slots, so every numeric factorisation of [G + s₀C] is
+    free of pattern analysis. Immutable and shareable across shifts
+    and threads. *)
+
+val order : ?c:Csr.t -> Csr.t -> int array
+(** [order ?c g] — the ordering this backend wants: {!Amd.order} of
+    the merged [G]/[C] pattern composed with the elimination-tree
+    postorder of the AMD-permuted pattern. Returns [perm] in the
+    {!Csr.permute_sym} convention ([perm.(new_index) = old_index]);
+    the postorder composition leaves the factor nonzero count of the
+    AMD ordering unchanged. *)
+
+val symbolic : ?relax:int -> ?extra_pattern:(int * int) array -> ?c:Csr.t -> Csr.t -> symbolic
+(** [symbolic ?relax ?extra_pattern ?c g] — supernode detection and
+    symbolic factorisation of the merged (structural-union) pattern
+    of [g] and [c], both already permuted. [relax] (default [0]) is
+    the relaxed-amalgamation padding budget in stored zeros per
+    supernode; supernode width is capped at 128 columns regardless.
+    [extra_pattern] positions (permuted coordinates, either triangle)
+    are merged into the pattern as structural zeros — how
+    [Pencil.reserve] makes room for Newton-Jacobian stamps. Raises
+    [Invalid_argument] on non-square or mismatched inputs. *)
+
+val nnz : symbolic -> int
+(** Stored lower-triangle factor nonzeros, diagonal included. Equals
+    {!Etree.predicted_nnz} of the input pattern exactly when
+    [relax = 0]. *)
+
+val supernodes : symbolic -> int
+val dim : symbolic -> int
+
+(** Real factorisation of [G + s₀C] — the reduction and transient
+    workhorse. *)
+module Real : sig
+  type t
+
+  val factor : ?pivot_tol:float -> ?extra:(int * int * float) array -> symbolic -> float -> t
+  (** [factor sym s0] — the numeric phase. Optional [extra] entries
+      [(i, j, v)] (either triangle, permuted coordinates) are
+      accumulated onto the assembled matrix — the transient engine's
+      Newton-Jacobian stamps; an entry outside the factor pattern
+      raises [Invalid_argument] (rebuild the symbolic phase with the
+      stamp positions in the pattern instead). Raises {!Singular}
+      when a pivot falls below [pivot_tol] (relative, default
+      [1e-14]) times the largest assembled diagonal magnitude. *)
+
+  val dim : t -> int
+
+  val solve : t -> float array -> float array
+  (** Solve [A x = b] (permuted coordinates). *)
+
+  val solve_lower : t -> float array -> float array
+  (** Forward substitution with the unit-lower factor [L] only. *)
+
+  val solve_lower_t : t -> float array -> float array
+  (** Back substitution with [Lᵀ] only. *)
+
+  val d : t -> float array
+  (** The diagonal of [D] (a copy). *)
+
+  val fill : t -> int
+  (** Stored factor nonzeros — the cost measure, comparable with
+      {!Skyline.SOLVER.fill}. *)
+end
+
+(** Split-complex (structure-of-arrays) kernels for the AC path: the
+    same supernodal recurrences on the complex-symmetric [G + sC]
+    with re/im in separate unboxed float arrays.
+    {!Skyline.Complex_sym} is the oracle they are tested against. *)
+module Complex_soa : sig
+  type t
+
+  val factor : ?pivot_tol:float -> symbolic -> Complex.t -> t
+  (** Factor [G + sC] from the shared symbolic phase. Raises
+      {!Singular} under the same relative pivot test as {!Real}. *)
+
+  val solve_split : t -> float array -> float array -> unit
+  (** [solve_split fac re im] solves [A x = b] in place on the split
+      right-hand side ([re], [im]). *)
+
+  val dim : t -> int
+
+  val d : t -> Complex.t array
+  (** The diagonal of [D]. *)
+
+  val fill : t -> int
+end

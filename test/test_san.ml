@@ -187,6 +187,48 @@ let test_fp_skyline_nan_detected () =
   Alcotest.(check bool) "NaN input surfaces as SAN101" true
     (List.mem "SAN101" (codes ()))
 
+let test_fp_supernodal_nan_detected () =
+  with_san ~fp:true @@ fun () ->
+  let tr = Sparse.Triplet.create 4 4 in
+  for i = 0 to 3 do
+    Sparse.Triplet.add tr i i (if i = 2 then Float.nan else 1.0)
+  done;
+  for i = 0 to 2 do
+    Sparse.Triplet.add_sym tr i (i + 1) 0.1
+  done;
+  let g = Sparse.Csr.of_triplet tr in
+  let sym = Sparse.Supernodal.symbolic g in
+  (match Sparse.Supernodal.Real.factor sym 0.0 with
+  | _ -> ()
+  | exception Sparse.Supernodal.Singular _ -> ());
+  Alcotest.(check bool) "NaN input surfaces as SAN101" true
+    (List.mem "SAN101" (codes ()))
+
+let test_fp_supernodal_solve_clean () =
+  (* the production path on a well-conditioned pencil: factor + solve,
+     real and split-complex, must record nothing — the supernodal
+     probes only fire on genuine non-finite or growth findings *)
+  with_san ~fp:true @@ fun () ->
+  let n = 12 in
+  let tr = Sparse.Triplet.create n n in
+  for i = 0 to n - 1 do
+    Sparse.Triplet.add tr i i 2.0;
+    if i + 1 < n then Sparse.Triplet.add_sym tr i (i + 1) (-0.5)
+  done;
+  let g = Sparse.Csr.of_triplet tr in
+  let tc = Sparse.Triplet.create n n in
+  for i = 0 to n - 1 do
+    Sparse.Triplet.add tc i i 1e-12
+  done;
+  let c = Sparse.Csr.of_triplet tc in
+  let sym = Sparse.Supernodal.symbolic ~c g in
+  let fac = Sparse.Supernodal.Real.factor sym 1e9 in
+  let _ = Sparse.Supernodal.Real.solve fac (Array.init n float_of_int) in
+  let cf = Sparse.Supernodal.Complex_soa.factor sym Complex.{ re = 0.0; im = 1e9 } in
+  let xr = Array.make n 1.0 and xi = Array.make n 0.0 in
+  Sparse.Supernodal.Complex_soa.solve_split cf xr xi;
+  Alcotest.(check (list string)) "clean factor+solve is finding-free" [] (codes ())
+
 let test_fp_ac_sweep_clean () =
   with_san ~fp:true @@ fun () ->
   let nl = Circuit.Generators.rc_line ~sections:12 () in
@@ -302,6 +344,8 @@ let () =
           Alcotest.test_case "check_array index" `Quick test_fp_check_array_index;
           Alcotest.test_case "growth threshold" `Quick test_fp_growth_threshold;
           Alcotest.test_case "skyline NaN" `Quick test_fp_skyline_nan_detected;
+          Alcotest.test_case "supernodal NaN" `Quick test_fp_supernodal_nan_detected;
+          Alcotest.test_case "supernodal clean" `Quick test_fp_supernodal_solve_clean;
           Alcotest.test_case "AC sweep clean" `Quick test_fp_ac_sweep_clean;
         ] );
       ( "plumbing",
