@@ -1300,6 +1300,258 @@ let certify_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* serve daemon load generator — spawns the real symor binary (the    *)
+(* daemon owns worker domains, so it must live in its own process)    *)
+
+module J = Serve.Json
+
+let find_symor () =
+  let candidates =
+    (match Sys.getenv_opt "SYMOR_BIN" with Some p -> [ p ] | None -> [])
+    @ [ "_build/default/bin/symor.exe"; "bin/symor.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None ->
+    Printf.eprintf
+      "serve bench: symor binary not found (run `dune build bin` first, or set \
+       SYMOR_BIN)\n";
+    exit 1
+
+let serve_socket_counter = ref 0
+
+let with_serve_daemon exe extra_args f =
+  incr serve_socket_counter;
+  let sock =
+    Printf.sprintf "/tmp/symor-bench-%d-%d.sock" (Unix.getpid ())
+      !serve_socket_counter
+  in
+  (match Unix.unlink sock with () -> () | exception Unix.Unix_error _ -> ());
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list ((exe :: [ "serve"; "--socket"; sock ]) @ extra_args))
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      (match Unix.kill pid Sys.sigterm with
+      | () -> ()
+      | exception Unix.Unix_error _ -> ());
+      let _, status = Unix.waitpid [] pid in
+      (match Unix.unlink sock with () -> () | exception Unix.Unix_error _ -> ());
+      match status with
+      | Unix.WEXITED 0 -> ()
+      | _ ->
+        Printf.eprintf "serve bench: daemon did not exit cleanly on SIGTERM\n";
+        exit 1)
+    (fun () ->
+      let c = Serve.Client.connect ~deadline_s:10.0 (`Unix sock) in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c))
+
+let serve_ac_request ?(points = 16) text =
+  J.to_string
+    (J.Obj
+       [
+         ("op", J.Str "ac");
+         ("netlist", J.Str text);
+         ("points", J.Num (float_of_int points));
+       ])
+
+let serve_reduce_request ?(order = 8) text =
+  J.to_string
+    (J.Obj
+       [
+         ("op", J.Str "reduce");
+         ("netlist", J.Str text);
+         ("order", J.Num (float_of_int order));
+       ])
+
+let serve_roundtrip c line =
+  match Serve.Client.request c line with
+  | Some resp -> resp
+  | None ->
+    Printf.eprintf "serve bench: daemon closed the connection\n";
+    exit 1
+
+let serve_stats c =
+  let j = J.parse (serve_roundtrip c {|{"op":"stats"}|}) in
+  let geti path =
+    match J.to_int_opt (List.fold_left (fun v k -> J.member k v) j path) with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "serve bench: malformed stats response\n";
+      exit 1
+  in
+  ( geti [ "cache"; "hits" ],
+    geti [ "cache"; "misses" ],
+    geti [ "batched_points" ] )
+
+let percentile_ms sorted p =
+  let n = Array.length sorted in
+  let i = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+  sorted.(max 0 (min (n - 1) i)) *. 1e3
+
+let serve_bench () =
+  section "Serve daemon: warm cache, hit rate, latency, payload identity";
+  let exe = find_symor () in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let examples =
+    List.map
+      (fun name -> read_file (Filename.concat "examples/netlists" (name ^ ".cir")))
+      [ "rc_line"; "lc_tank"; "rl_ladder"; "coupled_lines" ]
+  in
+  (* -------- gate 1: warm-cache AC >= 10x faster than cold ---------- *)
+  (* a grid big enough that the cold sweep dwarfs the socket round
+     trip; warm answers come straight from the entry's point table *)
+  let rows, cols, points =
+    if !quick then (16, 16, 64) else (24, 24, 96)
+  in
+  (* two ports only (pitch_pads past the boundary): the warm path then
+     measures the round trip, not the rendering of a many-port matrix *)
+  let grid_text =
+    Circuit.Parser.to_string
+      (Circuit.Generators.rc_grid ~pitch_pads:1000 ~rows ~cols ())
+  in
+  let grid_req = serve_ac_request ~points grid_text in
+  let cold_s, warm_s =
+    with_serve_daemon exe [] (fun c ->
+        let t0 = Obs.now () in
+        let cold_resp = serve_roundtrip c grid_req in
+        let cold = Obs.now () -. t0 in
+        let warm = ref Float.infinity in
+        let warm_resp = ref "" in
+        for _ = 1 to 5 do
+          let t0 = Obs.now () in
+          warm_resp := serve_roundtrip c grid_req;
+          warm := Float.min !warm (Obs.now () -. t0)
+        done;
+        if not (String.equal cold_resp !warm_resp) then begin
+          Printf.eprintf "FAIL: warm response differs from cold response\n";
+          exit 1
+        end;
+        (cold, !warm))
+  in
+  let speedup = cold_s /. warm_s in
+  Printf.printf "cold AC (%d pts, %dx%d grid): %.2f ms; warm: %.3f ms; speedup %.1fx\n"
+    points rows cols (cold_s *. 1e3) (warm_s *. 1e3) speedup;
+  if speedup < 10.0 then begin
+    Printf.eprintf "FAIL: warm-cache speedup %.1fx below the 10x gate\n" speedup;
+    exit 1
+  end;
+  (* -------- gates 2+3: load mix per job count ---------------------- *)
+  let rounds = if !quick then 25 else 50 in
+  let runs =
+    List.map
+      (fun jobs ->
+        with_serve_daemon exe [ "--jobs"; string_of_int jobs ] (fun c ->
+            let lats = ref [] in
+            let payloads = Buffer.create 4096 in
+            let t_start = Obs.now () in
+            for _ = 1 to rounds do
+              List.iter
+                (fun text ->
+                  List.iter
+                    (fun req ->
+                      let t0 = Obs.now () in
+                      let resp = serve_roundtrip c req in
+                      lats := (Obs.now () -. t0) :: !lats;
+                      Buffer.add_string payloads resp;
+                      Buffer.add_char payloads '\n')
+                    [ serve_ac_request text; serve_reduce_request text ])
+                examples
+            done;
+            let wall = Obs.now () -. t_start in
+            let hits, misses, _ = serve_stats c in
+            let lat = Array.of_list !lats in
+            Array.sort Float.compare lat;
+            let n_req = Array.length lat in
+            let hit_rate = float_of_int hits /. float_of_int (hits + misses) in
+            Printf.printf
+              "jobs %d: %d requests in %.2f s (%.0f req/s), p50 %.2f ms, p99 %.2f \
+               ms, cache hit rate %.3f\n"
+              jobs n_req wall
+              (float_of_int n_req /. wall)
+              (percentile_ms lat 0.50) (percentile_ms lat 0.99) hit_rate;
+            ( jobs,
+              n_req,
+              wall,
+              percentile_ms lat 0.50,
+              percentile_ms lat 0.99,
+              hit_rate,
+              Digest.to_hex (Digest.string (Buffer.contents payloads)) )))
+      [ 1; 2; 4 ]
+  in
+  List.iter
+    (fun (jobs, _, _, _, _, hit_rate, _) ->
+      if hit_rate < 0.95 then begin
+        Printf.eprintf "FAIL: jobs %d cache hit rate %.3f below the 0.95 gate\n"
+          jobs hit_rate;
+        exit 1
+      end)
+    runs;
+  let digests = List.map (fun (_, _, _, _, _, _, d) -> d) runs in
+  let identical = List.for_all (fun d -> String.equal d (List.hd digests)) digests in
+  Printf.printf "response payloads bitwise identical across jobs {1, 2, 4}: %b\n"
+    identical;
+  if not identical then begin
+    Printf.eprintf "FAIL: response payloads differ across job counts\n";
+    exit 1
+  end;
+  (* -------- batching demo: one write, many same-model requests ----- *)
+  let batched =
+    with_serve_daemon exe [] (fun c ->
+        let req = serve_ac_request (List.hd examples) in
+        (* 8 lines in a single write so the daemon reads them in one
+           loop tick and batches the union of their frequency points *)
+        let block = String.concat "\n" (List.init 8 (fun _ -> req)) in
+        Serve.Client.send_line c block;
+        for _ = 1 to 8 do
+          match Serve.Client.recv_line c with
+          | Some _ -> ()
+          | None ->
+            Printf.eprintf "serve bench: daemon closed during batch read\n";
+            exit 1
+        done;
+        let _, _, batched = serve_stats c in
+        batched)
+  in
+  Printf.printf "pipelined batch of 8 identical 16-pt AC requests: %d points saved\n"
+    batched;
+  let json =
+    let run_json (jobs, n_req, wall, p50, p99, hit_rate, digest) =
+      J.Obj
+        [
+          ("jobs", J.Num (float_of_int jobs));
+          ("requests", J.Num (float_of_int n_req));
+          ("wall_s", J.Num wall);
+          ("rps", J.Num (float_of_int n_req /. wall));
+          ("p50_ms", J.Num p50);
+          ("p99_ms", J.Num p99);
+          ("hit_rate", J.Num hit_rate);
+          ("payload_digest", J.Str digest);
+        ]
+    in
+    J.to_string
+      (J.Obj
+         [
+           ("cold_s", J.Num cold_s);
+           ("warm_s", J.Num warm_s);
+           ("warm_speedup", J.Num speedup);
+           ("payload_identical", J.Bool identical);
+           ("batched_points", J.Num (float_of_int batched));
+           ("runs", J.List (List.map run_json runs));
+         ])
+  in
+  json_out "serve" (json ^ "\n")
+
 let all_experiments =
   [
     ("fig2", fig2);
@@ -1320,6 +1572,7 @@ let all_experiments =
     ("factor", factor_bench);
     ("kernels", kernels);
     ("obs", obs_gate);
+    ("serve", serve_bench);
   ]
 
 let () =

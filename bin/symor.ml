@@ -12,7 +12,11 @@
              synthesize an equivalent reduced netlist; --check also
              audits the numerical contracts (see Sympvl.Contract)
      ac      exact AC sweep as CSV
-     tran    transient simulation as CSV *)
+     tran    transient simulation as CSV
+     serve   persistent reduction/evaluation daemon (newline-delimited
+             JSON over a Unix or TCP socket, content-hash cache,
+             request batching; see README "Serving")
+     request one-shot client for a running serve daemon *)
 
 open Cmdliner
 
@@ -770,11 +774,142 @@ let tran_cmd =
   Cmd.v (Cmd.info "tran" ~doc)
     Term.(const run $ netlist_arg $ dt_arg $ tstop_arg $ observe_arg $ factor_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / request: the daemon and its one-shot client                 *)
+
+let socket_arg =
+  let doc = "Serve on (or connect to) a Unix socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Serve on (or connect to) TCP port $(docv)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"N" ~doc)
+
+let host_arg =
+  let doc = "Host for $(b,--port) (bind address / connect target)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let resolve_addr socket port host : Serve.Protocol.addr =
+  match (socket, port) with
+  | Some path, None -> `Unix path
+  | None, Some p -> `Tcp (host, p)
+  | Some _, Some _ ->
+    Printf.eprintf "symor: --socket and --port are mutually exclusive\n";
+    exit 2
+  | None, None ->
+    Printf.eprintf "symor: pass --socket PATH or --port N\n";
+    exit 2
+
+let addr_to_string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let serve_cmd =
+  let entries_arg =
+    let doc =
+      "Cache bound: distinct netlists kept resident (parsed netlist, shared \
+       pencil context, reduced models, evaluated AC points). Least recently \
+       used entries are evicted past the bound; entries pinned by an in-flight \
+       request are dropped only once it completes."
+    in
+    Arg.(value & opt int 64 & info [ "cache-entries" ] ~docv:"N" ~doc)
+  in
+  let run socket port host entries jobs factor stats =
+   safely @@ fun () ->
+    apply_jobs jobs;
+    apply_factor factor;
+    let addr = resolve_addr socket port host in
+    let cfg =
+      { (Serve.Server.default_config addr) with Serve.Server.max_entries = entries }
+    in
+    (* the daemon records its spans/counters so /stats and per-request
+       "trace":true subtrees have data; buffers are truncated per batch *)
+    Serve.Server.run
+      ~on_ready:(fun () ->
+        Printf.eprintf "symor: serving on %s\n%!" (addr_to_string addr))
+      cfg;
+    if stats then prerr_string (Obs.stats_table ());
+    report_san ()
+  in
+  let doc =
+    "Persistent reduction/evaluation daemon. Speaks newline-delimited JSON \
+     (one request per line, one response per line — malformed lines \
+     included) over a Unix or TCP socket. Caches netlist -> parsed -> pencil \
+     context -> reduced model by content hash; concurrent AC requests for \
+     the same netlist are batched into one pooled sweep. SIGTERM (or a \
+     $(b,shutdown) request) drains in-flight requests, then exits 0. See \
+     README \"Serving\" for the protocol."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ entries_arg $ jobs_arg
+      $ factor_arg $ stats_arg)
+
+let request_cmd =
+  let lines_arg =
+    let doc =
+      "Request lines (JSON objects) to send, in order. Without positional \
+       requests, lines are read from stdin. Lines are forwarded verbatim — \
+       including malformed ones, which the daemon answers with a structured \
+       error."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Seconds to keep retrying the initial connection." in
+    Arg.(value & opt float 10.0 & info [ "connect-timeout" ] ~docv:"S" ~doc)
+  in
+  let run socket port host timeout lines =
+   safely @@ fun () ->
+    let addr = resolve_addr socket port host in
+    let c = Serve.Client.connect ~deadline_s:timeout addr in
+    let lines =
+      if lines <> [] then lines
+      else
+        let rec slurp acc =
+          match input_line stdin with
+          | line -> slurp (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        slurp []
+    in
+    (* exit with the worst per-response "status" (the daemon's 0/1/2
+       contract); an unreadable response counts as an error *)
+    let worst = ref 0 in
+    List.iter
+      (fun line ->
+        match Serve.Client.request c line with
+        | None ->
+          Printf.eprintf "symor: connection closed by daemon\n";
+          worst := 2
+        | Some resp ->
+          print_endline resp;
+          let status =
+            match Serve.Json.parse resp with
+            | j -> (
+              match Serve.Json.to_int_opt (Serve.Json.member "status" j) with
+              | Some s -> s
+              | None -> 2)
+            | exception Serve.Json.Parse_error _ -> 2
+          in
+          if status > !worst then worst := status)
+      lines;
+    Serve.Client.close c;
+    exit !worst
+  in
+  let doc =
+    "Send request lines to a running $(b,symor serve) daemon and print the \
+     response lines. Exit code is the worst $(b,status) field across the \
+     responses (the daemon's 0/1/2 contract)."
+  in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ timeout_arg $ lines_arg)
+
 let () =
   Printexc.record_backtrace true;
   let doc = "SyMPVL reduced-order modeling of linear passive multi-ports" in
   let main = Cmd.group (Cmd.info "symor" ~version:"1.0.0" ~doc)
       [ info_cmd; lint_cmd; analyze_cmd; reduce_cmd; certify_cmd; ac_cmd; sparams_cmd;
-        tran_cmd ]
+        tran_cmd; serve_cmd; request_cmd ]
   in
   exit (Cmd.eval main)

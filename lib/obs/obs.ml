@@ -255,7 +255,10 @@ let json_args args =
 
 let us ts = (ts -. Atomic.get t0) *. 1e6
 
-let export_chrome () =
+(* export the events of every buffer from a per-buffer start index on
+   — the whole trace ([export_chrome]) and a per-request subtree
+   ([export_chrome_since]) share this one renderer *)
+let export_from start_of =
   let out = Buffer.create 65536 in
   Buffer.add_string out "{\"traceEvents\":[\n";
   let first = ref true in
@@ -271,7 +274,7 @@ let export_chrome () =
            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
             \"args\":{\"name\":\"domain %d\"}}"
            b.dom b.dom);
-      for k = 0 to b.len - 1 do
+      for k = max 0 (start_of b) to b.len - 1 do
         match b.evs.(k) with
         | B (name, ts, args) ->
           emit
@@ -301,6 +304,45 @@ let export_chrome () =
     (counters ());
   Buffer.add_string out "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents out
+
+let export_chrome () = export_from (fun _ -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-request subtrees: mark / export-since / truncate                *)
+
+type mark = (buf * int) list
+
+let mark () =
+  Mutex.lock registry_mutex;
+  let m = List.map (fun b -> (b, b.len)) !registry in
+  Mutex.unlock registry_mutex;
+  m
+
+(* buffers created after the mark start at 0 *)
+let mark_start m b = match List.assq_opt b m with Some l -> l | None -> 0
+
+let export_chrome_since m = export_from (mark_start m)
+
+(* keep a long-lived process's buffers small: after dropping a
+   request's events, give back capacity a burst left behind *)
+let shrink_cap = 4096
+
+let truncate m =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun b ->
+      let l = min b.len (mark_start m b) in
+      b.len <- l;
+      if Array.length b.evs > shrink_cap && l < shrink_cap / 2 then begin
+        let evs = Array.make (max 256 l) (E 0.0) in
+        Array.blit b.evs 0 evs 0 l;
+        b.evs <- evs
+      end)
+    !registry;
+  Mutex.unlock registry_mutex
+
+let buffered_events () =
+  List.fold_left (fun acc b -> acc + b.len) 0 (all_bufs ())
 
 let write_trace path =
   let oc = open_out path in

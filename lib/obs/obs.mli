@@ -120,3 +120,41 @@ val export_chrome : unit -> string
 
 val write_trace : string -> unit
 (** Write {!export_chrome} to a file. *)
+
+(** {1 Per-request subtrees}
+
+    A long-lived process (the [symor serve] daemon) records spans for
+    every request it handles; without a way to export and then {e
+    drop} the events of one request, the per-domain buffers grow
+    without bound. A {!mark} snapshots the current length of every
+    domain buffer; {!export_chrome_since} renders only the events
+    recorded after the mark (the request's span subtree, including
+    events recorded by pool worker domains on the request's behalf),
+    and {!truncate} discards them — counters and gauges are {e not}
+    touched, so cumulative [serve.*] statistics survive.
+
+    Both {!truncate} and {!mark} must be called outside parallel
+    regions (like {!reset}), and spans opened before the mark should
+    be closed before it too — an [E] event without its [B] on the
+    same side of the mark is dropped by trace viewers. *)
+
+type mark
+
+val mark : unit -> mark
+(** Snapshot every domain buffer's current event count. *)
+
+val export_chrome_since : mark -> string
+(** Chrome-trace JSON of the events recorded after [mark] (buffers
+    created after the mark are included in full). Counter samples are
+    cumulative, as in {!export_chrome}. *)
+
+val truncate : mark -> unit
+(** Drop every event recorded after [mark] on every domain buffer,
+    shrinking oversized buffer capacity back down so a long-lived
+    process's resident set stays bounded. Counters and gauges are
+    kept. *)
+
+val buffered_events : unit -> int
+(** Total number of buffered events across all domains — the quantity
+    {!truncate} keeps bounded in a long-lived process (regression
+    tested by the serve harness). *)

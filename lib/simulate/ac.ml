@@ -68,10 +68,7 @@ let z_at_ws (m : Circuit.Mna.t) ws s =
 
 let z_at m s = z_at_ws m (workspace m) s
 
-let sweep ?jobs (m : Circuit.Mna.t) freqs =
-  if Obs.tracing () then
-    Obs.span_begin ~args:[ ("points", Obs.Int (Array.length freqs)) ] "ac.sweep";
-  let ws = workspace m in
+let run_points ?jobs (m : Circuit.Mna.t) ws freqs =
   let point k =
     (* checked-pool mode: tag this slot so overlapping writers across
        concurrently pooled kernels are caught, not just within a batch *)
@@ -80,16 +77,26 @@ let sweep ?jobs (m : Circuit.Mna.t) freqs =
   in
   (* every point is independent and written into its own slot, so the
      result is bitwise identical at any job count *)
-  let z =
-    match jobs with
-    | Some j ->
-      if j <= 1 then Array.init (Array.length freqs) point
-      else
-        Parallel.Pool.parallel_map (Parallel.pool_for ~jobs:j) (Array.length freqs)
-          point
-    | None ->
-      Parallel.Pool.parallel_map (Parallel.get ()) (Array.length freqs) point
-  in
+  match jobs with
+  | Some j ->
+    if j <= 1 then Array.init (Array.length freqs) point
+    else
+      Parallel.Pool.parallel_map (Parallel.pool_for ~jobs:j) (Array.length freqs)
+        point
+  | None -> Parallel.Pool.parallel_map (Parallel.get ()) (Array.length freqs) point
+
+let sweep_ws ?jobs (m : Circuit.Mna.t) ws freqs =
+  if Obs.tracing () then
+    Obs.span_begin ~args:[ ("points", Obs.Int (Array.length freqs)) ] "ac.sweep";
+  let z = run_points ?jobs m ws freqs in
+  if Obs.tracing () then Obs.span_end ();
+  { freqs; z; port_names = m.Circuit.Mna.port_names }
+
+let sweep ?jobs (m : Circuit.Mna.t) freqs =
+  if Obs.tracing () then
+    Obs.span_begin ~args:[ ("points", Obs.Int (Array.length freqs)) ] "ac.sweep";
+  let ws = workspace m in
+  let z = run_points ?jobs m ws freqs in
   if Obs.tracing () then Obs.span_end ();
   { freqs; z; port_names = m.Circuit.Mna.port_names }
 

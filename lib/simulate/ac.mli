@@ -36,6 +36,12 @@ val z_at : Circuit.Mna.t -> Complex.t -> Linalg.Cmat.t
 (** [z_at m s] evaluates the exact [Z(s)] at one physical complex
     frequency (gain and variable conventions as in {!Sympvl.Model.eval}). *)
 
+val sweep_ws : ?jobs:int -> Circuit.Mna.t -> workspace -> float array -> sweep
+(** {!sweep} against a precomputed symbolic phase — the serve daemon's
+    batching path, which unions the missing frequency points of a
+    batch of same-model requests into one pooled call. Same
+    bitwise-identical-at-any-job-count guarantee. *)
+
 val sweep : ?jobs:int -> Circuit.Mna.t -> float array -> sweep
 (** [sweep m freqs] evaluates along the [jω] axis. [jobs] overrides
     the shared pool with a private one of that size for this sweep

@@ -105,6 +105,54 @@ let test_export_chrome () =
   Alcotest.(check int) "brackets balance" 0 (balance '[' ']')
 
 (* ------------------------------------------------------------------ *)
+(* request-scoped marks: export_chrome_since / truncate                *)
+
+let test_mark_export_truncate () =
+  with_tracing @@ fun () ->
+  Obs.with_span "before.mark" (fun () -> ());
+  Obs.count "mark.counter" 2;
+  let m = Obs.mark () in
+  Obs.with_span "after.mark" (fun () -> Obs.count "mark.counter" 3);
+  let sub = Obs.export_chrome_since m in
+  Alcotest.(check bool) "subtree has post-mark span" true
+    (count_substring sub "\"name\":\"after.mark\"" > 0);
+  Alcotest.(check int) "subtree omits pre-mark span" 0
+    (count_substring sub "\"name\":\"before.mark\"");
+  let before_events = Obs.buffered_events () in
+  Alcotest.(check bool) "events recorded" true (before_events > 0);
+  Obs.truncate m;
+  Alcotest.(check bool) "truncate drops post-mark events" true
+    (Obs.buffered_events () < before_events);
+  (* counters are cumulative state, not buffer events: they survive *)
+  Alcotest.(check (float 0.0)) "counter survives truncation" 5.0
+    (Obs.counter_value "mark.counter");
+  let full = Obs.export_chrome () in
+  Alcotest.(check bool) "pre-mark span still exported" true
+    (count_substring full "\"name\":\"before.mark\"" > 0);
+  Alcotest.(check int) "post-mark span gone from full export" 0
+    (count_substring full "\"name\":\"after.mark\"")
+
+let test_mark_truncate_bounded () =
+  with_tracing @@ fun () ->
+  (* the serve daemon's per-request cycle: mark, record a span subtree,
+     export it, truncate.  Over many requests the buffers must stay
+     bounded (regression for unbounded trace growth in a daemon). *)
+  let worst = ref 0 in
+  for i = 1 to 5_000 do
+    let m = Obs.mark () in
+    Obs.with_span "serve.request" (fun () -> Obs.count "serve.requests" 1);
+    let sub = Obs.export_chrome_since m in
+    if i mod 1000 = 0 then
+      Alcotest.(check bool) "subtree carries the request span" true
+        (count_substring sub "\"name\":\"serve.request\"" > 0);
+    Obs.truncate m;
+    worst := max !worst (Obs.buffered_events ())
+  done;
+  Alcotest.(check bool) "buffers stay bounded" true (!worst < 4096);
+  Alcotest.(check (float 0.0)) "counters kept accumulating" 5000.0
+    (Obs.counter_value "serve.requests")
+
+(* ------------------------------------------------------------------ *)
 (* the cost contract: disabled probes allocate nothing                 *)
 
 let test_disabled_zero_alloc () =
@@ -202,6 +250,10 @@ let () =
           Alcotest.test_case "disabled probes record nothing" `Quick
             test_disabled_probes_record_nothing;
           Alcotest.test_case "chrome export" `Quick test_export_chrome;
+          Alcotest.test_case "mark / export_since / truncate" `Quick
+            test_mark_export_truncate;
+          Alcotest.test_case "truncate keeps buffers bounded" `Quick
+            test_mark_truncate_bounded;
           Alcotest.test_case "disabled probes allocate nothing" `Quick
             test_disabled_zero_alloc;
         ] );

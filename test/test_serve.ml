@@ -1,0 +1,507 @@
+(* serve daemon harness.  The daemon may own spawned domains, so the
+   tests never fork it in-process: they spawn the real [symor] binary
+   (a dune dep of this test) and talk to it over a Unix socket with
+   [Serve.Client], exactly as a user would.
+
+   Covered here:
+     - direct [Serve.Cache] units: content-hash keying, strict-LRU
+       eviction under the entry bound, deferred eviction of a pinned
+       (in-use) pencil context, the doomed-ghost re-request path, model
+       memoisation, and exact bit-pattern point keying;
+     - protocol fuzz (qcheck, seeded through Qtest for replay):
+       arbitrary junk bytes and semantically-bad requests each get one
+       JSON error response with stable SRV* codes, the connection stays
+       usable, and the daemon survives;
+     - parity: concurrent clients sweeping every shipped example
+       netlist get responses that are bit-identical to the committed
+       test/golden fixtures at --jobs 1 and --jobs 2, and identical
+       bytes across the two job counts;
+     - single-flight: two clients racing on the same uncached netlist
+       cost exactly one cache miss and get identical bytes;
+     - batching: two identical sweeps arriving in one tick share one
+       pooled sweep (stats report the saved points);
+     - lifecycle: SIGTERM drains the in-flight request (answered with
+       golden-exact data) before a clean exit 0, and a long run of
+       traced requests leaves the obs buffers bounded. *)
+
+module J = Serve.Json
+
+(* cwd is the test directory under `dune runtest` but the workspace
+   root under `dune exec` — accept either *)
+let find_path cands =
+  match List.find_opt Sys.file_exists cands with Some p -> p | None -> List.hd cands
+
+let netlist_path base =
+  find_path
+    [ "../examples/netlists/" ^ base ^ ".cir"; "examples/netlists/" ^ base ^ ".cir" ]
+
+let golden_path base =
+  find_path [ "golden/" ^ base ^ ".golden"; "test/golden/" ^ base ^ ".golden" ]
+
+let symor_exe =
+  find_path [ "../bin/symor.exe"; "_build/default/bin/symor.exe"; "bin/symor.exe" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* daemon process harness                                              *)
+
+let sock_counter = ref 0
+
+(* spawn `symor serve --socket <fresh>` and pass (addr, pid) to [f];
+   on the way out, SIGTERM the daemon and assert it exits 0 (clean
+   shutdown is part of every test) *)
+let with_server ?(args = []) f =
+  incr sock_counter;
+  let sock =
+    Printf.sprintf "/tmp/symor-test-%d-%d.sock" (Unix.getpid ()) !sock_counter
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0o644 in
+  let pid =
+    Unix.create_process symor_exe
+      (Array.of_list ((symor_exe :: "serve" :: "--socket" :: sock :: args)))
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  let reap () =
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    match snd (Unix.waitpid [] pid) with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
+    | Unix.WSIGNALED n -> Alcotest.failf "daemon killed by signal %d" n
+    | Unix.WSTOPPED _ -> Alcotest.fail "daemon stopped"
+  in
+  Fun.protect ~finally:reap (fun () -> f ((`Unix sock : Serve.Protocol.addr), pid))
+
+let with_client addr f =
+  let c = Serve.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let recv_exn c =
+  match Serve.Client.recv_line c with
+  | Some l -> l
+  | None -> Alcotest.fail "unexpected EOF from daemon"
+
+let request_exn c line =
+  Serve.Client.send_line c line;
+  recv_exn c
+
+(* ------------------------------------------------------------------ *)
+(* response plumbing                                                   *)
+
+let feq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let jbool k j = J.to_bool_opt (J.member k j)
+
+let jint_exn k j =
+  match J.to_int_opt (J.member k j) with
+  | Some n -> n
+  | None -> Alcotest.failf "response field %S is not an integer" k
+
+let jfloat_exn j =
+  match J.to_float_opt j with
+  | Some x -> x
+  | None -> Alcotest.fail "expected a number"
+
+let jlist_exn j =
+  match J.to_list_opt j with
+  | Some l -> l
+  | None -> Alcotest.fail "expected a list"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let ping_seq = ref 0
+
+(* a ping with a fresh id pins request/response alignment: if the
+   previous request had produced zero or two response lines, the echoed
+   id would not match *)
+let check_ping c =
+  incr ping_seq;
+  let id = !ping_seq in
+  let j = J.parse (request_exn c (Printf.sprintf {|{"id":%d,"op":"ping"}|} id)) in
+  if jbool "pong" j <> Some true then Alcotest.fail "ping: no pong";
+  if J.to_int_opt (J.member "id" j) <> Some id then
+    Alcotest.fail "ping: wrong id echoed (response misalignment)"
+
+(* ------------------------------------------------------------------ *)
+(* cache units (in-process, no daemon)                                 *)
+
+let grid rows cols =
+  Circuit.Parser.to_string (Circuit.Generators.rc_grid ~rows ~cols ())
+
+let test_cache_keying () =
+  let t = Serve.Cache.create ~max_entries:4 in
+  let a = grid 2 2 in
+  let e1 = Serve.Cache.find t a in
+  let e2 = Serve.Cache.find t a in
+  Alcotest.(check bool) "same text, same entry" true (e1 == e2);
+  Alcotest.(check string) "entry keyed by content hash" (Serve.Cache.key_of_text a)
+    (Serve.Cache.key e1);
+  let s = Serve.Cache.stats t in
+  Alcotest.(check int) "one miss" 1 s.Serve.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Serve.Cache.hits;
+  (* a one-character perturbation (extra blank line) parses to the same
+     circuit but is a different text: content hashing must miss *)
+  let e3 = Serve.Cache.find t (a ^ "\n") in
+  Alcotest.(check bool) "perturbed text is a distinct entry" true (not (e1 == e3));
+  let s = Serve.Cache.stats t in
+  Alcotest.(check int) "perturbed text misses" 2 s.Serve.Cache.misses;
+  Alcotest.(check int) "two entries live" 2 s.Serve.Cache.entries
+
+let test_cache_lru () =
+  let t = Serve.Cache.create ~max_entries:2 in
+  let a = grid 2 2 and b = grid 2 3 and c = grid 3 2 in
+  ignore (Serve.Cache.find t a);
+  ignore (Serve.Cache.find t b);
+  ignore (Serve.Cache.find t a);
+  (* a was touched after b, so b is the LRU victim *)
+  ignore (Serve.Cache.find t c);
+  Alcotest.(check bool) "recently-used entry kept" true
+    (Serve.Cache.mem_key t (Serve.Cache.key_of_text a));
+  Alcotest.(check bool) "LRU entry evicted" false
+    (Serve.Cache.mem_key t (Serve.Cache.key_of_text b));
+  Alcotest.(check bool) "newcomer kept" true
+    (Serve.Cache.mem_key t (Serve.Cache.key_of_text c));
+  Alcotest.(check int) "one eviction" 1 (Serve.Cache.stats t).Serve.Cache.evictions
+
+let test_cache_deferred_eviction () =
+  let t = Serve.Cache.create ~max_entries:1 in
+  let a = grid 2 2 and b = grid 2 3 in
+  let ea = Serve.Cache.find t a in
+  let ka = Serve.Cache.key_of_text a in
+  Serve.Cache.pin ea;
+  let ctx_before = Serve.Cache.ctx ea in
+  ignore (Serve.Cache.find t b);
+  (* the LRU victim is pinned by an in-flight request: it must be
+     doomed, not dropped, and its pencil context must stay usable *)
+  Alcotest.(check bool) "pinned victim still resident" true (Serve.Cache.mem_key t ka);
+  Alcotest.(check int) "no eviction while pinned" 0
+    (Serve.Cache.stats t).Serve.Cache.evictions;
+  Alcotest.(check bool) "context untouched mid-request" true
+    (Serve.Cache.ctx ea == ctx_before);
+  Serve.Cache.unpin t ea;
+  Alcotest.(check bool) "dropped once the request completed" false
+    (Serve.Cache.mem_key t ka);
+  Alcotest.(check int) "eviction completed at unpin" 1
+    (Serve.Cache.stats t).Serve.Cache.evictions
+
+let test_cache_doomed_ghost () =
+  let t = Serve.Cache.create ~max_entries:1 in
+  let a = grid 2 2 and b = grid 2 3 in
+  let ea = Serve.Cache.find t a in
+  Serve.Cache.pin ea;
+  ignore (Serve.Cache.find t b) (* dooms the pinned [a] *);
+  (* re-requesting the doomed netlist builds a fresh entry under the
+     content key; the ghost survives under a shadow key until unpin *)
+  let ea2 = Serve.Cache.find t a in
+  Alcotest.(check bool) "fresh entry, not the ghost" true (not (ea == ea2));
+  Alcotest.(check string) "fresh entry owns the content key"
+    (Serve.Cache.key_of_text a) (Serve.Cache.key ea2);
+  Alcotest.(check bool) "ghost re-keyed away" true
+    (Serve.Cache.key ea <> Serve.Cache.key ea2);
+  Serve.Cache.unpin t ea;
+  Alcotest.(check bool) "fresh entry survives the ghost's death" true
+    (Serve.Cache.mem_key t (Serve.Cache.key_of_text a))
+
+let test_cache_model_and_points () =
+  let t = Serve.Cache.create ~max_entries:2 in
+  let e = Serve.Cache.find t (grid 4 4) in
+  let _, c1 = Serve.Cache.model t e ~engine:`Sympvl ~order:4 ~shift:None ~band:None in
+  let _, c2 = Serve.Cache.model t e ~engine:`Sympvl ~order:4 ~shift:None ~band:None in
+  Alcotest.(check bool) "first build not cached" false c1;
+  Alcotest.(check bool) "repeat configuration cached" true c2;
+  Alcotest.(check int) "one model build" 1
+    (Serve.Cache.stats t).Serve.Cache.model_builds;
+  let _, c3 = Serve.Cache.model t e ~engine:`Sympvl ~order:6 ~shift:None ~band:None in
+  Alcotest.(check bool) "different order rebuilds" false c3;
+  (* point table: exact bit-pattern keying, no float tolerance *)
+  Serve.Cache.store_point e 1e9 (Linalg.Cmat.create 1 1);
+  Alcotest.(check bool) "stored point found" true
+    (Serve.Cache.cached_point e 1e9 <> None);
+  Alcotest.(check bool) "ULP-nudged frequency misses" true
+    (Serve.Cache.cached_point e (Float.succ 1e9) = None)
+
+(* ------------------------------------------------------------------ *)
+(* protocol fuzz                                                       *)
+
+(* the protocol is line-based: a newline would split one fuzz case into
+   several requests, so fold line breaks into spaces *)
+let sanitize s = String.map (fun ch -> if ch = '\n' || ch = '\r' then ' ' else ch) s
+
+let test_fuzz_junk () =
+  with_server @@ fun (addr, _) ->
+  with_client addr @@ fun c ->
+  let prop raw =
+    let resp = request_exn c (sanitize raw) in
+    let j =
+      try J.parse resp
+      with J.Parse_error m ->
+        Alcotest.failf "daemon answered junk with non-JSON %S (%s)" resp m
+    in
+    (match jbool "ok" j with
+    | Some false ->
+      if jint_exn "status" j <> 2 then Alcotest.fail "error response without status 2"
+    | Some true -> () (* the fuzzer stumbled on a valid request — fine *)
+    | None -> Alcotest.fail "response without an ok field");
+    check_ping c;
+    true
+  in
+  QCheck.Test.check_exn ~rand:(Qtest.rand ())
+    (QCheck.Test.make ~count:100
+       ~name:"serve: junk bytes get one JSON error; connection stays usable"
+       QCheck.string prop)
+
+let test_fuzz_semantic () =
+  let nl = J.to_string (J.Str (read_file (netlist_path "rc_line"))) in
+  let cases =
+    [|
+      (Printf.sprintf {|{"id":0,"op":"reduce","netlist":%s,"engine":"warp"}|} nl, "SRV006");
+      (Printf.sprintf {|{"id":1,"op":"reduce","netlist":%s,"order":-3}|} nl, "SRV004");
+      (Printf.sprintf {|{"id":2,"op":"ac","netlist":%s,"points":1}|} nl, "SRV004");
+      ({|{"id":3,"op":"reduce","netlist":""}|}, "SRV005");
+      ({|{"id":4,"op":"reduce"}|}, "SRV005");
+      ({|{"id":5,"op":"frobnicate"}|}, "SRV003");
+      ({|{"id":6}|}, "SRV003");
+      ({|[1,2,3]|}, "SRV002");
+      ({|{"id":7,"op":"ac","netlist":|}, "SRV001");
+    |]
+  in
+  with_server @@ fun (addr, _) ->
+  with_client addr @@ fun c ->
+  let prop i =
+    let line, code = cases.(i) in
+    let resp = request_exn c line in
+    let j = J.parse resp in
+    if jbool "ok" j <> Some false then
+      Alcotest.failf "case %d: expected ok:false, got %s" i resp;
+    if jint_exn "status" j <> 2 then Alcotest.failf "case %d: expected status 2" i;
+    if not (contains resp code) then
+      Alcotest.failf "case %d: expected a %s finding in %s" i code resp;
+    check_ping c;
+    true
+  in
+  QCheck.Test.check_exn ~rand:(Qtest.rand ())
+    (QCheck.Test.make ~count:40
+       ~name:"serve: semantically-bad requests get stable SRV codes"
+       (QCheck.int_range 0 (Array.length cases - 1))
+       prop)
+
+(* ------------------------------------------------------------------ *)
+(* golden parity                                                       *)
+
+let names = [ "rc_line"; "lc_tank"; "rl_ladder"; "coupled_lines" ]
+
+type gentry = { gfreq : float; grow : int; gcol : int; gmag : float; gphase : float }
+
+let read_fixture path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         Scanf.sscanf line "%e %d %d %e %e" (fun gfreq grow gcol gmag gphase ->
+             entries := { gfreq; grow; gcol; gmag; gphase } :: !entries)
+     done
+   with End_of_file -> close_in ic);
+  List.rev !entries
+
+(* the golden grid: 16 log points, 1e6..1e10 Hz (test_golden.ml) *)
+let ac_request text =
+  Printf.sprintf {|{"op":"ac","netlist":%s,"flo":1e6,"fhi":1e10,"points":16}|}
+    (J.to_string (J.Str text))
+
+(* The daemon inherits SYMOR_FACTOR: an overridden factor backend is
+   numerically valid but not the one that produced the fixtures, so
+   only then do we fall back to test_golden's relative tolerance. *)
+let fixture_backend =
+  match Sys.getenv_opt "SYMOR_FACTOR" with None | Some "" -> true | Some _ -> false
+
+let golden_rtol = 1e-8
+
+(* The daemon's %.17g rendering round-trips doubles exactly, so the
+   response carries the sweep's exact bits: under the fixtures' factor
+   backend, reconstructing |Z| and arg Z here must reproduce the
+   fixture doubles bit for bit. *)
+let check_against_golden name resp =
+  let j = J.parse resp in
+  if jbool "ok" j <> Some true then Alcotest.failf "%s: ac request failed: %s" name resp;
+  Alcotest.(check int) (name ^ ": status") 0 (jint_exn "status" j);
+  let freqs = Array.of_list (List.map jfloat_exn (jlist_exn (J.member "freqs" j))) in
+  Alcotest.(check int) (name ^ ": grid size") 16 (Array.length freqs);
+  let z =
+    jlist_exn (J.member "z" j)
+    |> List.map (fun per_freq ->
+           jlist_exn per_freq
+           |> List.map (fun row ->
+                  jlist_exn row
+                  |> List.map (fun cell ->
+                         match jlist_exn cell with
+                         | [ re; im ] ->
+                           { Complex.re = jfloat_exn re; im = jfloat_exn im }
+                         | _ -> Alcotest.fail "malformed z cell")
+                  |> Array.of_list)
+           |> Array.of_list)
+    |> Array.of_list
+  in
+  List.iter
+    (fun g ->
+      let rec locate i =
+        if i >= Array.length freqs then
+          Alcotest.failf "%s: fixture frequency %.17e missing from response" name
+            g.gfreq
+        else if feq freqs.(i) g.gfreq then i
+        else locate (i + 1)
+      in
+      let x = z.(locate 0).(g.grow).(g.gcol) in
+      let ok =
+        if fixture_backend then
+          feq (Complex.norm x) g.gmag && feq (Complex.arg x) g.gphase
+        else
+          (* reconstruct the complex reference so phase wrapping cannot
+             produce false failures (as in test_golden) *)
+          Complex.norm (Complex.sub x (Complex.polar g.gmag g.gphase))
+          <= golden_rtol *. Float.max g.gmag 1e-30
+      in
+      if not ok then
+        Alcotest.failf
+          "%s: Z[%d,%d] at %.6e Hz differs from golden (|Z| %.17e vs %.17e)" name
+          g.grow g.gcol g.gfreq (Complex.norm x) g.gmag)
+    (read_fixture (golden_path name))
+
+(* one concurrent client per shipped example: all requests in flight
+   before any response is read *)
+let run_parity ~jobs =
+  with_server ~args:[ "--jobs"; string_of_int jobs ] @@ fun (addr, _) ->
+  let clients =
+    List.map
+      (fun name ->
+        let c = Serve.Client.connect addr in
+        Serve.Client.send_line c (ac_request (read_file (netlist_path name)));
+        (name, c))
+      names
+  in
+  List.map
+    (fun (name, c) ->
+      let resp = recv_exn c in
+      Serve.Client.close c;
+      check_against_golden name resp;
+      (name, resp))
+    clients
+
+let test_parity_jobs () =
+  let r1 = run_parity ~jobs:1 in
+  let r2 = run_parity ~jobs:2 in
+  List.iter2
+    (fun (name, a) (_, b) ->
+      if not (String.equal a b) then
+        Alcotest.failf "%s: response bytes differ between --jobs 1 and --jobs 2" name)
+    r1 r2
+
+let test_single_flight () =
+  with_server @@ fun (addr, _) ->
+  let req = ac_request (read_file (netlist_path "rc_line")) in
+  let c1 = Serve.Client.connect addr and c2 = Serve.Client.connect addr in
+  (* both requests in flight on the same uncached netlist before either
+     response is read *)
+  Serve.Client.send_line c1 req;
+  Serve.Client.send_line c2 req;
+  let r1 = recv_exn c1 and r2 = recv_exn c2 in
+  Serve.Client.close c1;
+  Serve.Client.close c2;
+  Alcotest.(check string) "racing clients get identical bytes" r1 r2;
+  with_client addr @@ fun c ->
+  let stats = J.parse (request_exn c {|{"op":"stats"}|}) in
+  Alcotest.(check int) "exactly one cache miss" 1
+    (jint_exn "misses" (J.member "cache" stats));
+  Alcotest.(check (option (float 0.0))) "exactly one serve.cache_miss" (Some 1.0)
+    (J.to_float_opt (J.member "serve.cache_miss" (J.member "counters" stats)))
+
+let test_batching () =
+  with_server @@ fun (addr, _) ->
+  let req = ac_request (read_file (netlist_path "lc_tank")) in
+  with_client addr @@ fun c ->
+  (* two identical 16-point sweeps in one write arrive in one tick: the
+     group runs one pooled sweep and the twin's 16 points are saved *)
+  Serve.Client.send_line c (req ^ "\n" ^ req);
+  let r1 = recv_exn c in
+  let r2 = recv_exn c in
+  Alcotest.(check string) "batched twins get identical bytes" r1 r2;
+  check_against_golden "lc_tank" r1;
+  let stats = J.parse (request_exn c {|{"op":"stats"}|}) in
+  Alcotest.(check int) "16 points saved by batching" 16
+    (jint_exn "batched_points" stats)
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle                                                           *)
+
+let test_sigterm_drain () =
+  with_server @@ fun (addr, pid) ->
+  with_client addr @@ fun c ->
+  Serve.Client.send_line c (ac_request (read_file (netlist_path "rl_ladder")));
+  Unix.kill pid Sys.sigterm;
+  (* the in-flight request must be drained and answered — with correct
+     data — before the daemon exits (exit 0 asserted by with_server) *)
+  check_against_golden "rl_ladder" (recv_exn c);
+  Alcotest.(check bool) "EOF after drain" true (Serve.Client.recv_line c = None)
+
+let test_trace_bounded () =
+  with_server @@ fun (addr, _) ->
+  with_client addr @@ fun c ->
+  for i = 1 to 200 do
+    let resp = request_exn c (Printf.sprintf {|{"id":%d,"op":"ping","trace":true}|} i) in
+    let j = J.parse resp in
+    if jbool "ok" j <> Some true then Alcotest.failf "traced ping %d failed" i;
+    if J.member "trace" j = J.Null then Alcotest.fail "traced request carried no trace";
+    if not (contains resp "serve.request") then
+      Alcotest.fail "trace without the serve.request span"
+  done;
+  let stats = J.parse (request_exn c {|{"op":"stats"}|}) in
+  let ev = jint_exn "obs_events" stats in
+  if ev >= 8192 then
+    Alcotest.failf "obs buffers grew unbounded under traced requests: %d events" ev
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "content-hash keying" `Quick test_cache_keying;
+          Alcotest.test_case "lru eviction honours the bound" `Quick test_cache_lru;
+          Alcotest.test_case "pinned eviction deferred to unpin" `Quick
+            test_cache_deferred_eviction;
+          Alcotest.test_case "doomed ghost re-keyed on re-request" `Quick
+            test_cache_doomed_ghost;
+          Alcotest.test_case "model memo + exact point keying" `Quick
+            test_cache_model_and_points;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "junk never kills the daemon" `Quick test_fuzz_junk;
+          Alcotest.test_case "semantic errors carry SRV codes" `Quick
+            test_fuzz_semantic;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "concurrent AC matches golden at jobs 1/2" `Quick
+            test_parity_jobs;
+          Alcotest.test_case "single-flight on a racing uncached netlist" `Quick
+            test_single_flight;
+          Alcotest.test_case "same-tick twins share one sweep" `Quick test_batching;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "sigterm drains in-flight requests" `Quick
+            test_sigterm_drain;
+          Alcotest.test_case "traced requests keep obs bounded" `Quick
+            test_trace_bounded;
+        ] );
+    ]
