@@ -216,7 +216,12 @@ let info_cmd =
         ord.Analysis.Struct_rules.supernodal_stored
         ord.Analysis.Struct_rules.natural_nnz ord.Analysis.Struct_rules.rcm_nnz
         ord.Analysis.Struct_rules.amd_nnz
-        (Analysis.Struct_rules.backend_name ord.Analysis.Struct_rules.backend_pick)
+        (Analysis.Struct_rules.backend_name ord.Analysis.Struct_rules.backend_pick);
+      let so = Circuit.Mna.second_order_stats nl in
+      Format.printf
+        "second-order: %s; inductor loops = %d; coupling density = %.3f@."
+        so.Circuit.Mna.chosen_form so.Circuit.Mna.inductor_loops
+        so.Circuit.Mna.coupling_density
     end
   in
   let doc = "Print netlist statistics." in
@@ -440,10 +445,11 @@ let reduce_cmd =
   in
   let engine_arg =
     let doc =
-      "Reduction engine: $(b,sympvl) (default), $(b,mpvl), $(b,prima), $(b,awe) or \
-       $(b,bt). Pass $(b,help) to list the engines with their guarantees. Engines \
-       other than sympvl report size/shift and the $(b,--check) accuracy figure; \
-       --adaptive, --synth and --poles stay SyMPVL-only."
+      "Reduction engine: $(b,sympvl) (default), $(b,mpvl), $(b,prima), $(b,sprim), \
+       $(b,awe) or $(b,bt). Pass $(b,help) to list the engines with their \
+       guarantees. Engines other than sympvl report size/shift and the \
+       $(b,--check) accuracy figure; --adaptive and --poles stay SyMPVL-only, \
+       --synth works for sympvl (RC) and sprim (RLCk)."
     in
     Arg.(value & opt string "sympvl" & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
@@ -468,7 +474,7 @@ let reduce_cmd =
      under --check the deviation from exact AC analysis on the band.
      Unsupported engine/netlist pairs are skipped with exit 0 so a
      matrix loop over examples × engines stays a one-liner. *)
-  let run_engine eng mna path ~order ~shift ~band ~check ~certify =
+  let run_engine eng mna path ~order ~shift ~band ~check ~certify ~strict ~synth_out =
     match Sympvl.Rom.supports eng mna with
     | Error why ->
       Format.printf "%s: skipping %s (unsupported: %s)@." (Sympvl.Rom.name eng) path why
@@ -502,16 +508,38 @@ let reduce_cmd =
         Format.printf "max relative error on [%g, %g] Hz: %.3e@." f_lo f_hi
           (Simulate.Ac.max_rel_error sw zm)
       end;
-      if certify then begin
-        let rep = certify_one ~order ~shift ~band eng mna in
-        Format.printf "certification:@.";
-        print_diagnostics rep.Sympvl.Certify.findings;
-        let c = Circuit.Diagnostic.exit_code ~strict:false rep.Sympvl.Certify.findings in
-        if c > 0 then exit c
-      end
+      let cert_exit =
+        if not certify then 0
+        else begin
+          let rep = certify_one ~order ~shift ~band eng mna in
+          Format.printf "certification:@.";
+          print_diagnostics rep.Sympvl.Certify.findings;
+          Circuit.Diagnostic.exit_code ~strict rep.Sympvl.Certify.findings
+        end
+      in
+      (match synth_out with
+      | None -> ()
+      | Some out ->
+        (match model with
+        | Sympvl.Rom.Sprim_model sp ->
+          let syn, st =
+            Synth.Rlck.synthesize ~port_names:mna.Circuit.Mna.port_names sp
+          in
+          let oc = open_out out in
+          output_string oc (Circuit.Parser.to_string ~precision:17 syn);
+          close_out oc;
+          Format.printf
+            "synthesized: %d nodes, %d R, %d C, %d L (%d negative) -> %s@."
+            st.Synth.Rlck.nodes st.Synth.Rlck.resistors st.Synth.Rlck.capacitors
+            st.Synth.Rlck.inductors st.Synth.Rlck.negative_elements out
+        | _ ->
+          Printf.eprintf "symor: --synth needs --engine sympvl or sprim\n";
+          exit 1))
+      ;
+      if cert_exit > 0 then exit cert_exit
   in
-  let run verbose path order band shift engine synth_out poles check certify adaptive
-      jobs factor trace stats =
+  let run verbose path order band shift engine synth_out poles check certify strict
+      adaptive jobs factor trace stats =
     (if engine = "help" then begin
        List.iter
          (fun e -> Printf.printf "%-8s %s\n" (Sympvl.Rom.name e) (Sympvl.Rom.describe e))
@@ -537,12 +565,13 @@ let reduce_cmd =
     let nl = load path in
     let mna = Circuit.Mna.auto nl in
     if eng <> `Sympvl then begin
-      if adaptive <> None || synth_out <> None || poles then begin
+      if adaptive <> None || poles || (synth_out <> None && eng <> `Sprim) then begin
         Printf.eprintf
-          "symor: --adaptive/--synth/--poles are SyMPVL-only (drop --engine)\n";
+          "symor: --adaptive/--poles are SyMPVL-only; --synth needs --engine \
+           sympvl (RC) or sprim (RLCk)\n";
         exit 1
       end;
-      run_engine eng mna path ~order ~shift ~band ~check ~certify
+      run_engine eng mna path ~order ~shift ~band ~check ~certify ~strict ~synth_out
     end
     else
     let opts = { (Sympvl.Reduce.default ~order) with Sympvl.Reduce.band; shift } in
@@ -612,7 +641,7 @@ let reduce_cmd =
         (match rep.Sympvl.Certify.safe_order with
         | Some k -> Format.printf "  suggested safe order: %d@." k
         | None -> ());
-        Circuit.Diagnostic.exit_code ~strict:false rep.Sympvl.Certify.findings
+        Circuit.Diagnostic.exit_code ~strict rep.Sympvl.Certify.findings
       end
     in
     (match synth_out with
@@ -635,7 +664,7 @@ let reduce_cmd =
         end
       in
       let oc = open_out out in
-      output_string oc (Circuit.Parser.to_string syn);
+      output_string oc (Circuit.Parser.to_string ~precision:17 syn);
       close_out oc;
       Format.printf "synthesized: %s -> %s@." st out);
     if cert_exit > 0 then exit cert_exit
@@ -648,6 +677,10 @@ let reduce_cmd =
     in
     Arg.(value & flag & info [ "certify" ] ~doc)
   in
+  let strict_arg =
+    let doc = "With $(b,--certify): treat warnings as errors for the exit code." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
   let adaptive_arg =
     let doc =
       "Pick the order adaptively: grow until successive models agree to this \
@@ -659,8 +692,8 @@ let reduce_cmd =
   Cmd.v (Cmd.info "reduce" ~doc)
     Term.(
       const run $ verbose_arg $ netlist_arg $ order_arg $ band_arg $ shift_arg
-      $ engine_arg $ synth_arg $ poles_arg $ check_arg $ certify_arg $ adaptive_arg
-      $ jobs_arg $ factor_arg $ trace_arg $ stats_arg)
+      $ engine_arg $ synth_arg $ poles_arg $ check_arg $ certify_arg $ strict_arg
+      $ adaptive_arg $ jobs_arg $ factor_arg $ trace_arg $ stats_arg)
 
 let ac_cmd =
   let points_arg =

@@ -20,6 +20,7 @@ let rules =
     ("NET014", D.Warning, "duplicate port name");
     ("NET015", D.Error, "inductance matrix not positive definite");
     ("NET016", D.Warning, "no ports declared");
+    ("NET017", D.Error, "malformed mutual coupling: needs 0 < |k| < 1 between two distinct existing inductors");
   ]
 
 let line_of = function Some { N.line } -> Some line | None -> None
@@ -97,6 +98,18 @@ let run nl =
   let node_line = Array.make (nn + 1) None in
   let seen_names : (string, int option) Hashtbl.t = Hashtbl.create 64 in
   let k_out_of_range = ref false in
+  (* NET017 state: K cards that make ℒ ill-defined (the NET015
+     eigenvalue probe must not attempt to build it) *)
+  let coupling_invalid = ref false in
+  let inductor_names : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e, _) ->
+      match e with
+      | N.Inductor { name; _ } -> Hashtbl.replace inductor_names name ()
+      | N.Resistor _ | N.Capacitor _ | N.Mutual _ | N.Current_source _
+      | N.Voltage_source _ | N.Vccs _ | N.Nonlinear_conductance _ ->
+        ())
+    els;
   List.iter
     (fun (e, o) ->
       let ln = line_of o in
@@ -152,7 +165,7 @@ let run nl =
                    expansion point s0 = 0; reduction needs a frequency shift \
                    (pass --band)"
                   name))
-      | N.Mutual { k; _ } ->
+      | N.Mutual { l1; l2; k; _ } ->
         if not (Float.is_finite k) then
           emit
             (D.error ?line:ln "NET006"
@@ -166,6 +179,34 @@ let run nl =
                    definite (M = k·sqrt(L1·L2) overwhelms the self terms)"
                   name (Float.abs k)))
         end
+        else if k = 0.0 then begin
+          coupling_invalid := true;
+          emit
+            (D.error ?line:ln "NET017"
+               (Printf.sprintf
+                  "%s: zero coupling coefficient — a K card must satisfy \
+                   0 < |k| < 1 (drop the card instead)"
+                  name))
+        end;
+        if String.equal l1 l2 then begin
+          coupling_invalid := true;
+          emit
+            (D.error ?line:ln "NET017"
+               (Printf.sprintf
+                  "%s couples inductor %s to itself — a K card must reference \
+                   two distinct inductors"
+                  name l1))
+        end
+        else
+          List.iter
+            (fun l ->
+              if not (Hashtbl.mem inductor_names l) then begin
+                coupling_invalid := true;
+                emit
+                  (D.error ?line:ln "NET017"
+                     (Printf.sprintf "%s references unknown inductor %s" name l))
+              end)
+            [ l1; l2 ]
       | N.Current_source { wave; _ } ->
         if not (waveform_finite wave) then
           emit
@@ -299,7 +340,8 @@ let run nl =
   (* ---- inductance-matrix definiteness ---------------------------- *)
   let s = N.stats nl in
   let ni = s.N.inductors_ in
-  if s.N.mutuals > 0 && ni <= 400 && not !k_out_of_range then begin
+  if s.N.mutuals > 0 && ni <= 400 && not !k_out_of_range && not !coupling_invalid
+  then begin
     let lmat = Circuit.Mna.inductance_matrix nl in
     let scale = Float.max (Linalg.Mat.max_abs lmat) 1e-300 in
     let emin = Linalg.Eig_sym.min_eigenvalue lmat in

@@ -37,7 +37,11 @@
     - [NET014] warning — duplicate port name
     - [NET015] error — inductance matrix [ℒ] not positive definite
       (combined mutual couplings too strong)
-    - [NET016] warning — no ports declared ([reduce]/[ac] need one) *)
+    - [NET016] warning — no ports declared ([reduce]/[ac] need one)
+    - [NET017] error — malformed mutual coupling: the coefficient must
+      satisfy [0 < |k| < 1] and reference two distinct inductors that
+      exist in the netlist (the parser accepts such cards so this rule
+      can carry line provenance; MNA assembly refuses them) *)
 
 val rules : (string * Circuit.Diagnostic.severity * string) list
 (** Rule table: code, default severity, one-line summary. *)

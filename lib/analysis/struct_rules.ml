@@ -12,6 +12,7 @@ let rules =
     ("STR006", D.Info, "ordering recommendation with predicted factor nonzeros");
     ("STR007", D.Info, "pencil decomposes into independent diagonal blocks");
     ("STR008", D.Info, "structure summary: size, nonzeros, bandwidth, profile, rank");
+    ("STR009", D.Info, "second-order structure: inductor loops, coupling density, chosen MNA form");
   ]
 
 type matrix_stats = {
@@ -283,6 +284,15 @@ let run ?(fill_threshold = 10.0) nl m =
            %d, profile %d, structural rank %d/%d"
           st.n st.n_nodes (st.n - st.n_nodes) st.nnz_g st.nnz_c st.nnz_pencil
           st.nnz_lower st.bandwidth st.profile st.struct_rank st.n));
+  (let so = M.second_order_stats nl in
+   emit
+     (D.info "STR009"
+        (Printf.sprintf
+           "second-order structure: %s; %d inductor loop%s; coupling density \
+            %.3f (K cards over inductor pairs)"
+           so.M.chosen_form so.M.inductor_loops
+           (if so.M.inductor_loops = 1 then "" else "s")
+           so.M.coupling_density)));
   D.sort !diags
 
 let analyze ?fill_threshold nl = run ?fill_threshold nl (M.auto nl)

@@ -38,7 +38,10 @@
     - [STR007] info — the pencil is reducible: it decomposes into
       independent diagonal blocks (solvable separately)
     - [STR008] info — structure summary: dimensions, nonzeros,
-      bandwidth, profile, structural rank *)
+      bandwidth, profile, structural rank
+    - [STR009] info — second-order structure: the inductor-loop
+      count, K-card coupling density and the MNA form {!Circuit.Mna.auto}
+      picks (the [`Sprim] engine consumes the susceptance view) *)
 
 val rules : (string * Circuit.Diagnostic.severity * string) list
 (** Rule table: code, default severity, one-line summary. *)

@@ -82,6 +82,33 @@ val peec_mesh :
     paper's second observation column. Defaults: 1 nH segments, 1 pF
     nodes, k0 = 0.12. *)
 
+val peec_partial :
+  ?r_segment:float ->
+  ?l_segment:float ->
+  ?c_node:float ->
+  ?k0:float ->
+  ?k_cross:float ->
+  ?coupling_window:int ->
+  ?r_term:float ->
+  ?ports:int ->
+  conductors:int ->
+  segments:int ->
+  unit ->
+  Netlist.t
+(** Partial-inductance RLCk bus, the MORCIC regime (10⁴–10⁵ coupled
+    partial inductances): [conductors] parallel conductors of
+    [segments] series R–L segments with shunt C, every partial
+    inductance k-coupled to the next [coupling_window] segments of its
+    own conductor ([k(d) = k0/d^1.5]) and to the adjacent conductor
+    within the same window ([k(o) = k_cross/(1+|o|)^1.5]) — a sparse,
+    strictly diagonally dominant ℒ (positive definite by
+    construction). Far ends are terminated with [r_term] to ground, so
+    the general-form [G] is nonsingular at DC. Ports [drv<i>] at the
+    near end of the first [ports] conductors (default
+    [min conductors 4]). Defaults: 0.05 Ω / 1 nH / 0.2 pF per segment,
+    k0 = 0.08, k_cross = 0.04, window 4 — total element count
+    ≈ [conductors·segments·(3 + 3·coupling_window + 1)]. *)
+
 val rlc_line :
   ?r_per_section:float ->
   ?l_per_section:float ->

@@ -61,6 +61,19 @@ let require_linear nl =
         "Mna: controlled/nonlinear elements are not allowed in the MOR path"
   end
 
+(* A malformed K card (zero k, self-coupling, unknown inductor) makes
+   the inductance matrix ill-defined; the raw parser accepts such
+   cards so the linter can report them (NET017), so every assembly
+   entry point re-checks here. *)
+let require_couplings nl =
+  match Netlist.coupling_problems nl with
+  | [] -> ()
+  | (name, msg) :: _ ->
+    Diagnostic.user_errorf
+      "Mna: coupling %s%s %s (run `symor lint` for the full NET017 report)" name
+      (where_of (Netlist.origin_of nl name))
+      msg
+
 let port_matrix nl n =
   let ports = Netlist.ports nl in
   let p = List.length ports in
@@ -75,10 +88,25 @@ let port_matrix nl n =
 let port_names nl =
   Array.of_list (List.map (fun pt -> pt.Netlist.port_name) (Netlist.ports nl))
 
+(* Above this inductor count the −ℒ block of the general form is
+   stamped straight from the K cards instead of via a dense ℒ (which
+   would be O(ni²) memory — ~800 MB at ni = 10⁴). Kept well above
+   every shipped example so their assembly, and hence the committed
+   goldens, are bit-identical to before. *)
+let dense_inductance_max = 2048
+
+(* hashed inductor-name → index map; [Netlist.find_inductor] is a
+   linear scan and quadratic over many K cards *)
+let inductor_index nl =
+  let index = Hashtbl.create 256 in
+  List.iteri (fun i (name, _, _, _) -> Hashtbl.replace index name i) (Netlist.inductors nl);
+  index
+
 let inductance_matrix nl =
   let inds = Netlist.inductors nl in
   let nl_count = List.length inds in
   let values = Array.of_list (List.map (fun (_, _, _, h) -> h) inds) in
+  let index = inductor_index nl in
   let m = Linalg.Mat.create nl_count nl_count in
   for i = 0 to nl_count - 1 do
     Linalg.Mat.set m i i values.(i)
@@ -87,7 +115,7 @@ let inductance_matrix nl =
     (fun e ->
       match e with
       | Netlist.Mutual { l1; l2; k; _ } ->
-        let i = Netlist.find_inductor nl l1 and j = Netlist.find_inductor nl l2 in
+        let i = Hashtbl.find index l1 and j = Hashtbl.find index l2 in
         let mij = k *. sqrt (values.(i) *. values.(j)) in
         Linalg.Mat.add_to m i j mij;
         Linalg.Mat.add_to m j i mij
@@ -149,6 +177,7 @@ let capacitance_nodal nl nn =
 let assemble nl =
   require_linear nl;
   require_ports nl;
+  require_couplings nl;
   let nn = Netlist.num_nodes nl in
   let inds = Netlist.inductors nl in
   let ni = List.length inds in
@@ -182,7 +211,7 @@ let assemble nl =
       | Netlist.Nonlinear_conductance _ ->
         ())
     (Netlist.elements nl);
-  if ni > 0 then begin
+  if ni > 0 && ni <= dense_inductance_max then begin
     let lmat = inductance_matrix nl in
     for i = 0 to ni - 1 do
       for j = 0 to ni - 1 do
@@ -190,6 +219,31 @@ let assemble nl =
         if v <> 0.0 then Sparse.Triplet.add ctr (nn + i) (nn + j) (-.v)
       done
     done
+  end
+  else if ni > 0 then begin
+    (* sparse ℒ stamping for the 10⁴–10⁵ partial-inductance regime: a
+       dense ℒ would be O(ni²) memory; windowed k-coupling keeps the
+       triplet linear in the K-card count. The dense branch above is
+       kept verbatim for small ni so existing goldens stay
+       bit-identical. *)
+    let values = Array.of_list (List.map (fun (_, _, _, h) -> h) inds) in
+    let index = inductor_index nl in
+    Array.iteri
+      (fun i h -> Sparse.Triplet.add ctr (nn + i) (nn + i) (-.h))
+      values;
+    List.iter
+      (fun e ->
+        match e with
+        | Netlist.Mutual { l1; l2; k; _ } ->
+          let i = Hashtbl.find index l1 and j = Hashtbl.find index l2 in
+          let mij = k *. sqrt (values.(i) *. values.(j)) in
+          Sparse.Triplet.add ctr (nn + i) (nn + j) (-.mij);
+          Sparse.Triplet.add ctr (nn + j) (nn + i) (-.mij)
+        | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Inductor _
+        | Netlist.Current_source _ | Netlist.Voltage_source _ | Netlist.Vccs _
+        | Netlist.Nonlinear_conductance _ ->
+          ())
+      (Netlist.elements nl)
   end;
   let c = Sparse.Csr.of_triplet ctr in
   let b_nodal = port_matrix nl nn in
@@ -214,6 +268,7 @@ let assemble nl =
 let assemble_rc nl =
   require_linear nl;
   require_ports nl;
+  require_couplings nl;
   let s = Netlist.stats nl in
   if s.Netlist.inductors_ > 0 then begin
     let offender =
@@ -243,6 +298,7 @@ let assemble_rc nl =
 let assemble_rl nl =
   require_linear nl;
   require_ports nl;
+  require_couplings nl;
   let s = Netlist.stats nl in
   if s.Netlist.capacitors > 0 then
     Diagnostic.user_errorf "Mna.assemble_rl: netlist contains capacitors";
@@ -262,6 +318,7 @@ let assemble_rl nl =
 let assemble_lc nl =
   require_linear nl;
   require_ports nl;
+  require_couplings nl;
   let s = Netlist.stats nl in
   if s.Netlist.resistors > 0 then
     Diagnostic.user_errorf "Mna.assemble_lc: netlist contains resistors";
@@ -334,3 +391,116 @@ let append_output_column mna w name =
     Linalg.Mat.set b i p w.(i)
   done;
   { mna with b; port_names = Array.append mna.port_names [| name |] }
+
+(* ---------- second-order (susceptance) form ---------- *)
+
+type second_order = {
+  so_n : int;
+  so_ni : int;
+  so_m : Sparse.Csr.t;
+  so_d : Sparse.Csr.t;
+  so_k : Sparse.Csr.t;
+  so_b : Linalg.Mat.t;
+  so_ports : string array;
+  so_gain : gain;
+  so_variable : variable;
+}
+
+let assemble_second_order nl =
+  require_linear nl;
+  require_ports nl;
+  require_couplings nl;
+  let nn = Netlist.num_nodes nl in
+  let ni = List.length (Netlist.inductors nl) in
+  let k2 =
+    if ni = 0 then Sparse.Csr.of_triplet (Sparse.Triplet.create nn nn)
+    else inductive_nodal_g nl
+  in
+  {
+    so_n = nn;
+    so_ni = ni;
+    so_m = capacitance_nodal nl nn;
+    so_d = conductance_nodal nl nn;
+    so_k = k2;
+    so_b = port_matrix nl nn;
+    so_ports = port_names nl;
+    so_gain = Times_s;
+    so_variable = S;
+  }
+
+let linearize so =
+  let nn = so.so_n in
+  let n = 2 * nn in
+  (* G' = [[K, 0]; [0, I]],  C' = [[D, I]; [−M, 0]] — the companion
+     state is w = s·M·v, so the pencil G' + s·C' is nonsingular
+     exactly where the quadratic pencil s²M + sD + K is, even for a
+     singular M (nodes without capacitors). Schur elimination of w
+     recovers (s²M + sD + K)·v = B·u, hence Z(s) = s·Bᵀv matches the
+     second-order transfer function identically. *)
+  let gtr = Sparse.Triplet.create n n in
+  for i = 0 to nn - 1 do
+    Sparse.Csr.iter_row so.so_k i (fun j v -> Sparse.Triplet.add gtr i j v);
+    Sparse.Triplet.add gtr (nn + i) (nn + i) 1.0
+  done;
+  let ctr = Sparse.Triplet.create n n in
+  for i = 0 to nn - 1 do
+    Sparse.Csr.iter_row so.so_d i (fun j v -> Sparse.Triplet.add ctr i j v);
+    Sparse.Triplet.add ctr i (nn + i) 1.0;
+    Sparse.Csr.iter_row so.so_m i (fun j v -> Sparse.Triplet.add ctr (nn + i) j (-.v))
+  done;
+  let p = so.so_b.Linalg.Mat.cols in
+  let b = Linalg.Mat.create n p in
+  for i = 0 to nn - 1 do
+    for j = 0 to p - 1 do
+      Linalg.Mat.set b i j (Linalg.Mat.get so.so_b i j)
+    done
+  done;
+  {
+    n;
+    n_nodes = nn;
+    g = Sparse.Csr.of_triplet gtr;
+    c = Sparse.Csr.of_triplet ctr;
+    b;
+    port_names = so.so_ports;
+    gain = so.so_gain;
+    variable = so.so_variable;
+    spd = false;
+  }
+
+type second_order_stats = {
+  inductor_loops : int;
+  coupling_density : float;
+  chosen_form : string;
+}
+
+(* independent cycles in the inductor subgraph (ground included as a
+   vertex): every inductor branch whose endpoints are already
+   connected closes one loop *)
+let count_inductor_loops nl =
+  let nn = Netlist.num_nodes nl in
+  let parent = Array.init (nn + 1) (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let loops = ref 0 in
+  List.iter
+    (fun (_, n1, n2, _) ->
+      let a = find n1 and b = find n2 in
+      if a = b then incr loops else parent.(a) <- b)
+    (Netlist.inductors nl);
+  !loops
+
+let second_order_stats nl =
+  let s = Netlist.stats nl in
+  let ni = s.Netlist.inductors_ in
+  let pairs = ni * (ni - 1) / 2 in
+  let coupling_density =
+    if pairs = 0 then 0.0 else float_of_int s.Netlist.mutuals /. float_of_int pairs
+  in
+  let chosen_form =
+    match Netlist.classify nl with
+    | `Rc -> "first-order RC (G + sC)"
+    | `Rl -> "susceptance RL (Γ + sG, gain s)"
+    | `Lc -> "s²-variable LC (Γ + s²C, gain s)"
+    | `Rlc -> "second-order susceptance (s²M + sD + K) via linearised general form"
+    | `General -> "general (not reducible)"
+  in
+  { inductor_loops = count_inductor_loops nl; coupling_density; chosen_form }

@@ -107,6 +107,47 @@ let find_inductor t name =
   in
   go 0 (inductors t)
 
+(* Coupling defects that make the inductance matrix ill-defined (as
+   opposed to merely indefinite, which |k| >= 1 causes and the linter
+   reports as NET008). In insertion order, one entry per defect. *)
+let coupling_problems t =
+  (* hashed name set: this runs inside every MNA assembly, including
+     the 10⁵-inductor PEEC generators where a linear scan per K card
+     would be quadratic *)
+  let known = Hashtbl.create 256 in
+  List.iter
+    (fun (e, _) ->
+      match e with
+      | Inductor { name; _ } -> Hashtbl.replace known name ()
+      | Resistor _ | Capacitor _ | Mutual _ | Current_source _ | Voltage_source _
+      | Vccs _ | Nonlinear_conductance _ ->
+        ())
+    t.rev_elements;
+  let has_inductor name = Hashtbl.mem known name in
+  List.rev
+    (List.fold_left
+       (fun acc (e, _) ->
+         match e with
+         | Mutual { name; l1; l2; k } ->
+           let acc =
+             if k = 0.0 then (name, "zero coupling coefficient") :: acc else acc
+           in
+           let acc =
+             if String.equal l1 l2 then
+               (name, Printf.sprintf "couples inductor %s to itself" l1) :: acc
+             else acc
+           in
+           List.fold_left
+             (fun acc l ->
+               if has_inductor l then acc
+               else (name, Printf.sprintf "references unknown inductor %s" l) :: acc)
+             acc
+             (if String.equal l1 l2 then [ l1 ] else [ l1; l2 ])
+         | Resistor _ | Capacitor _ | Inductor _ | Current_source _
+         | Voltage_source _ | Vccs _ | Nonlinear_conductance _ ->
+           acc)
+       [] (List.rev t.rev_elements))
+
 (* The raw [add] accepts negative element values (reduced-circuit
    synthesis legitimately produces them, paper Section 6) and
    out-of-range coupling coefficients (so files carrying them can be
@@ -130,13 +171,12 @@ let add t ?origin e =
     check_node t n2 name;
     if henries = 0.0 || not (Float.is_finite henries) then
       invalid_arg (name ^ ": inductance must be finite and nonzero")
-  | Mutual { name; l1; l2; k } ->
-    if not (Float.is_finite k) then invalid_arg (name ^ ": coupling must be finite");
-    if String.equal l1 l2 then invalid_arg (name ^ ": self-coupling");
-    (try
-       ignore (find_inductor t l1);
-       ignore (find_inductor t l2)
-     with Not_found -> invalid_arg (name ^ ": coupling references unknown inductor"))
+  | Mutual { name; k; _ } ->
+    (* Self-coupling and unknown-inductor references are accepted here
+       so parsed files carrying them reach the linter (NET017) with
+       line provenance; [add_mutual] below stays strict, and the MNA
+       assembly guards on {!coupling_problems}. *)
+    if not (Float.is_finite k) then invalid_arg (name ^ ": coupling must be finite")
   | Current_source { name; n1; n2; _ } | Voltage_source { name; n1; n2; _ } ->
     check_node t n1 name;
     check_node t n2 name
@@ -167,7 +207,13 @@ let add_inductor t ?name n1 n2 henries =
 
 let add_mutual t ?name l1 l2 k =
   let name = match name with Some n -> n | None -> gen_name t "K" in
-  if Float.abs k >= 1.0 then invalid_arg (name ^ ": |k| must be < 1");
+  if k = 0.0 || Float.abs k >= 1.0 then
+    invalid_arg (name ^ ": coupling must satisfy 0 < |k| < 1");
+  if String.equal l1 l2 then invalid_arg (name ^ ": self-coupling");
+  (try
+     ignore (find_inductor t l1);
+     ignore (find_inductor t l2)
+   with Not_found -> invalid_arg (name ^ ": coupling references unknown inductor"));
   add t (Mutual { name; l1; l2; k })
 
 let add_current_source t ?name n1 n2 wave =

@@ -66,12 +66,15 @@ val node_name : t -> node -> string
 val add : t -> ?origin:origin -> element -> unit
 (** Add an element, optionally tagged with its source {!origin}.
     Raises [Invalid_argument] for zero or non-finite R/L/C values,
-    unknown-node references, self-coupling, or [Mutual] references to
-    unknown inductors. Negative values and [|k| >= 1] couplings are
-    {e accepted} here — synthesized reduced circuits legitimately
-    carry negative elements (paper Section 6), and the linter
-    ({!module:Analysis.Lint} in the analysis library) reports both
-    with line provenance; the [add_*] wrappers below stay strict. *)
+    unknown-node references, and non-finite coupling coefficients.
+    Negative values, [|k| >= 1] couplings, self-couplings and
+    [Mutual] references to unknown inductors are {e accepted} here —
+    synthesized reduced circuits legitimately carry negative elements
+    (paper Section 6), and the linter ({!module:Analysis.Lint} in the
+    analysis library) reports all of them with line provenance
+    (NET007/NET008/NET017); the [add_*] wrappers below stay strict,
+    and the MNA assembly refuses netlists with
+    {!coupling_problems}. *)
 
 val add_resistor : t -> ?name:string -> node -> node -> float -> unit
 
@@ -80,6 +83,8 @@ val add_capacitor : t -> ?name:string -> node -> node -> float -> unit
 val add_inductor : t -> ?name:string -> node -> node -> float -> unit
 
 val add_mutual : t -> ?name:string -> string -> string -> float -> unit
+(** Strict wrapper: requires [0 < |k| < 1] and two distinct inductor
+    names already present in the netlist. *)
 
 val add_current_source : t -> ?name:string -> node -> node -> Waveform.t -> unit
 
@@ -117,6 +122,15 @@ val inductors : t -> (string * node * node * float) list
 val find_inductor : t -> string -> int
 (** Index of an inductor in the {!inductors} order. Raises
     [Not_found]. *)
+
+val coupling_problems : t -> (string * string) list
+(** Mutual-coupling defects that make the inductance matrix
+    ill-defined: zero coupling coefficient, self-coupling, or a
+    reference to an unknown inductor. Each entry is
+    [(element_name, message)], in insertion order; line provenance is
+    recoverable via {!origin_of}. Out-of-range [|k| >= 1] is not
+    listed here (the matrix stays well-defined, merely indefinite —
+    lint rule NET008 reports it). *)
 
 type stats = {
   nodes : int;

@@ -316,30 +316,32 @@ let parse_file path =
   close_in ic;
   parse_string text
 
-let to_string nl =
+let to_string ?(precision = 9) nl =
   let buf = Buffer.create 1024 in
   let name_of n = Netlist.node_name nl n in
+  let value v = Printf.sprintf "%.*g" precision v in
   List.iter
     (fun e ->
       (match e with
       | Netlist.Resistor { name; n1; n2; ohms } ->
-        Buffer.add_string buf (Printf.sprintf "%s %s %s %.9g" name (name_of n1) (name_of n2) ohms)
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %s" name (name_of n1) (name_of n2) (value ohms))
       | Netlist.Capacitor { name; n1; n2; farads } ->
         Buffer.add_string buf
-          (Printf.sprintf "%s %s %s %.9g" name (name_of n1) (name_of n2) farads)
+          (Printf.sprintf "%s %s %s %s" name (name_of n1) (name_of n2) (value farads))
       | Netlist.Inductor { name; n1; n2; henries } ->
         Buffer.add_string buf
-          (Printf.sprintf "%s %s %s %.9g" name (name_of n1) (name_of n2) henries)
+          (Printf.sprintf "%s %s %s %s" name (name_of n1) (name_of n2) (value henries))
       | Netlist.Mutual { name; l1; l2; k } ->
-        Buffer.add_string buf (Printf.sprintf "%s %s %s %.9g" name l1 l2 k)
+        Buffer.add_string buf (Printf.sprintf "%s %s %s %s" name l1 l2 (value k))
       | Netlist.Current_source { name; n1; n2; wave }
       | Netlist.Voltage_source { name; n1; n2; wave } ->
         Buffer.add_string buf
           (Format.asprintf "%s %s %s %a" name (name_of n1) (name_of n2) Waveform.pp wave)
       | Netlist.Vccs { name; out_p; out_n; in_p; in_n; gm } ->
         Buffer.add_string buf
-          (Printf.sprintf "%s %s %s %s %s %.9g" name (name_of out_p) (name_of out_n)
-             (name_of in_p) (name_of in_n) gm)
+          (Printf.sprintf "%s %s %s %s %s %s" name (name_of out_p) (name_of out_n)
+             (name_of in_p) (name_of in_n) (value gm))
       | Netlist.Nonlinear_conductance { name; _ } ->
         invalid_arg ("Parser.to_string: nonlinear element " ^ name ^ " not representable"));
       Buffer.add_char buf '\n')

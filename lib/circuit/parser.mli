@@ -35,7 +35,13 @@ val parse_string : string -> Netlist.t
 
 val parse_file : string -> Netlist.t
 
-val to_string : Netlist.t -> string
+val to_string : ?precision:int -> Netlist.t -> string
 (** Render a linear netlist back to the textual format (sources are
     rendered via {!Waveform.pp}; VCCS uses a [G] card; nonlinear
-    elements are not representable and raise [Invalid_argument]). *)
+    elements are not representable and raise [Invalid_argument]).
+    [precision] is the [%g] significant-digit count for element
+    values (default 9, enough for hand-authored netlists). Synthesised
+    netlists should pass 17: their element values are derived
+    quantities — e.g. the near-cancelling susceptance branches of
+    [Synth.Rlck] — whose quantisation error is amplified through
+    reassembly, so round-trip fidelity needs the full double. *)

@@ -152,6 +152,35 @@ let of_prima (m : Arnoldi.t) =
     definite = false;
   }
 
+let of_sprim (m : Sprim.t) =
+  (* like PRIMA, the split-and-re-blocked congruence lives in the
+     physical pencil variable; ghat/chat are symmetric by construction
+     (the blocks were explicitly symmetrised after projection), so the
+     symmetric-form certificate always applies. The pencil is
+     indefinite (−ℒ̂ block), so MOD002 correctly reports "no definite
+     certificate" and MOD003's Hamiltonian band test carries the
+     passivity claim. *)
+  let sym =
+    if near_symmetric m.Sprim.ghat && near_symmetric m.Sprim.chat then
+      Some (m.Sprim.ghat, m.Sprim.chat, m.Sprim.bhat)
+    else None
+  in
+  {
+    engine = `Sprim;
+    g0 = m.Sprim.ghat;
+    g1 = m.Sprim.chat;
+    bin = m.Sprim.bhat;
+    cout = Mat.transpose m.Sprim.bhat;
+    nx = m.Sprim.order;
+    np = m.Sprim.p;
+    shift = m.Sprim.shift;
+    variable = m.Sprim.variable;
+    gain = m.Sprim.gain;
+    sym;
+    foster = None;
+    definite = false;
+  }
+
 let of_bt (m : Btruncation.t) =
   let n = m.Btruncation.order in
   {
@@ -234,6 +263,7 @@ let state_space = function
   | Rom.Sympvl_model m -> of_sympvl m
   | Rom.Mpvl_model m -> of_mpvl m
   | Rom.Prima_model m -> of_prima m
+  | Rom.Sprim_model m -> of_sprim m
   | Rom.Awe_model m -> of_awe m
   | Rom.Bt_model m -> of_bt m
 

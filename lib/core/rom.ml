@@ -1,4 +1,4 @@
-type engine = [ `Sympvl | `Mpvl | `Prima | `Awe | `Bt ]
+type engine = [ `Sympvl | `Mpvl | `Prima | `Sprim | `Awe | `Bt ]
 
 type options = {
   order : int;
@@ -23,12 +23,13 @@ let default ~order =
     port = 0;
   }
 
-let all = [ `Sympvl; `Mpvl; `Prima; `Awe; `Bt ]
+let all = [ `Sympvl; `Mpvl; `Prima; `Sprim; `Awe; `Bt ]
 
 let name = function
   | `Sympvl -> "sympvl"
   | `Mpvl -> "mpvl"
   | `Prima -> "prima"
+  | `Sprim -> "sprim"
   | `Awe -> "awe"
   | `Bt -> "bt"
 
@@ -37,6 +38,7 @@ let of_name s =
   | "sympvl" -> Some `Sympvl
   | "mpvl" -> Some `Mpvl
   | "prima" | "arnoldi" -> Some `Prima
+  | "sprim" -> Some `Sprim
   | "awe" -> Some `Awe
   | "bt" | "balanced" | "truncation" -> Some `Bt
   | _ -> None
@@ -52,6 +54,11 @@ let describe = function
   | `Prima ->
     "block-Arnoldi congruence projection (PRIMA): matches floor(n/p) moment \
      blocks; passive by congruence on PSD pencils"
+  | `Sprim ->
+    "SPRIM block-structure-preserving congruence (general RLC form): the \
+     PRIMA Krylov basis split at the node/current boundary and re-blocked, \
+     so reduced models keep G/C symmetry, the 2x2 block structure and \
+     passivity by construction, and synthesise back to RLCk netlists"
   | `Awe ->
     "explicit-moment scalar Pade (AWE): single-port, numerically limited to \
      low orders (~8) by moment-matrix conditioning"
@@ -69,12 +76,28 @@ let golden_rtol = function
   | `Sympvl -> 1e-6
   | `Mpvl -> 1e-5
   | `Prima -> 1e-5
+  | `Sprim -> 1e-5
   | `Awe -> 0.2
   | `Bt -> 1e-6
 
 let supports engine (m : Circuit.Mna.t) =
   match engine with
   | `Sympvl | `Mpvl | `Prima -> Ok ()
+  | `Sprim ->
+    if
+      m.Circuit.Mna.variable <> Circuit.Mna.S
+      || m.Circuit.Mna.gain <> Circuit.Mna.Unit
+    then
+      Error
+        "SPRIM preserves the node/current block structure of the general RLC \
+         form Z = B^T(G+sC)^{-1}B; the specialised RL/LC gain and variable \
+         mappings have no current block to preserve (use sympvl)"
+    else if m.Circuit.Mna.n = m.Circuit.Mna.n_nodes then
+      Error
+        "SPRIM needs an inductor-current block to preserve, but this netlist \
+         has no inductors (the RC form is already structure-preserving — use \
+         sympvl or prima)"
+    else Ok ()
   | `Awe ->
     if m.Circuit.Mna.variable <> Circuit.Mna.S then
       Error
@@ -112,6 +135,7 @@ type model =
   | Sympvl_model of Model.t
   | Mpvl_model of Mpvl.t
   | Prima_model of Arnoldi.t
+  | Sprim_model of Sprim.t
   | Awe_model of Awe.t
   | Bt_model of Btruncation.t
 
@@ -139,6 +163,8 @@ let reduce ?ctx ?opts ~order engine (m : Circuit.Mna.t) =
       (Mpvl.reduce ?ctx ?shift:o.shift ?band:o.band ~dtol:o.dtol ~order:o.order m)
   | `Prima ->
     Prima_model (Arnoldi.reduce ?ctx ?shift:o.shift ?band:o.band ~order:o.order m)
+  | `Sprim ->
+    Sprim_model (Sprim.reduce ?ctx ?shift:o.shift ?band:o.band ~order:o.order m)
   | `Awe ->
     (* shift resolution (including the singular-G retry) goes through
        the one policy in Pencil; the factorisation it computes stays in
@@ -162,6 +188,7 @@ let engine_of_model = function
   | Sympvl_model _ -> `Sympvl
   | Mpvl_model _ -> `Mpvl
   | Prima_model _ -> `Prima
+  | Sprim_model _ -> `Sprim
   | Awe_model _ -> `Awe
   | Bt_model _ -> `Bt
 
@@ -170,6 +197,7 @@ let eval model s =
   | Sympvl_model m -> Model.eval m s
   | Mpvl_model m -> Mpvl.eval m s
   | Prima_model m -> Arnoldi.eval m s
+  | Sprim_model m -> Sprim.eval m s
   | Awe_model m ->
     let z = Linalg.Cmat.create 1 1 in
     Linalg.Cmat.set z 0 0 (Awe.eval m s);
@@ -180,6 +208,7 @@ let order = function
   | Sympvl_model m -> m.Model.order
   | Mpvl_model m -> m.Mpvl.order
   | Prima_model m -> m.Arnoldi.order
+  | Sprim_model m -> m.Sprim.order
   | Awe_model m -> m.Awe.order
   | Bt_model m -> m.Btruncation.order
 
@@ -187,6 +216,7 @@ let ports = function
   | Sympvl_model m -> m.Model.p
   | Mpvl_model m -> m.Mpvl.p
   | Prima_model m -> m.Arnoldi.p
+  | Sprim_model m -> m.Sprim.p
   | Awe_model _ -> 1
   | Bt_model m -> m.Btruncation.p
 
@@ -194,6 +224,7 @@ let shift = function
   | Sympvl_model m -> m.Model.shift
   | Mpvl_model m -> m.Mpvl.shift
   | Prima_model m -> m.Arnoldi.shift
+  | Sprim_model m -> m.Sprim.shift
   | Awe_model m -> m.Awe.shift
   | Bt_model _ -> 0.0
 
@@ -207,5 +238,9 @@ let expected_moments model =
   | Sympvl_model m -> two_sided m.Model.order m.Model.p
   | Mpvl_model m -> two_sided m.Mpvl.order m.Mpvl.p
   | Prima_model m -> m.Arnoldi.order / m.Arnoldi.p
+  (* the split basis spans at least PRIMA's projection subspace, so
+     SPRIM inherits (at least) the PRIMA moment floor at the same
+     Krylov depth *)
+  | Sprim_model m -> m.Sprim.krylov_cols / m.Sprim.p
   | Awe_model m -> 2 * m.Awe.order
   | Bt_model _ -> 0

@@ -1,8 +1,9 @@
 (** Engine registry: one front door for every reduction algorithm.
 
     Every model-order-reduction engine in the library — the paper's
-    SyMPVL band-Lanczos, two-sided MPVL, PRIMA block-Arnoldi, scalar
-    AWE and dense balanced truncation — is reachable here behind a
+    SyMPVL band-Lanczos, two-sided MPVL, PRIMA block-Arnoldi,
+    structure-preserving SPRIM, scalar AWE and dense balanced
+    truncation — is reachable here behind a
     single options record and a single [reduce] entry point, so the
     CLI, the tests and the benches can enumerate and compare them
     uniformly. All Krylov engines share one {!Pencil} context (and
@@ -10,7 +11,7 @@
     shift policy); pass [?ctx] to share it with exact AC analysis or
     moment checks too. *)
 
-type engine = [ `Sympvl | `Mpvl | `Prima | `Awe | `Bt ]
+type engine = [ `Sympvl | `Mpvl | `Prima | `Sprim | `Awe | `Bt ]
 
 type options = {
   order : int;  (** Requested reduced order (columns of the Krylov basis). *)
@@ -52,14 +53,17 @@ val golden_rtol : engine -> float
 
 val supports : engine -> Circuit.Mna.t -> (unit, string) result
 (** Structural applicability of an engine to an assembled pencil:
-    AWE needs the [s] variable (scalar moment matching); balanced
-    truncation needs the symmetric positive definite RC impedance
-    form. [Error reason] explains the mismatch in one sentence. *)
+    AWE needs the [s] variable (scalar moment matching); SPRIM needs
+    the general RLC form with a non-empty inductor-current block (the
+    structure it preserves); balanced truncation needs the symmetric
+    positive definite RC impedance form. [Error reason] explains the
+    mismatch in one sentence. *)
 
 type model =
   | Sympvl_model of Model.t
   | Mpvl_model of Mpvl.t
   | Prima_model of Arnoldi.t
+  | Sprim_model of Sprim.t
   | Awe_model of Awe.t
   | Bt_model of Btruncation.t
 
@@ -95,7 +99,9 @@ val expected_moments : model -> int
 (** The number of matrix moments the algorithm matches by
     construction at its expansion point: [2⌊n/p⌋] for the two-sided
     Lanczos engines (SyMPVL/MPVL, paper Section 3.2), [⌊n/p⌋] for
-    PRIMA's one-sided congruence, [2·order] scalar moments for AWE,
+    PRIMA's one-sided congruence, [⌊krylov_cols/p⌋] for SPRIM (its
+    split basis spans at least PRIMA's projection subspace at the same
+    Krylov depth), [2·order] scalar moments for AWE,
     and [0] for balanced truncation (which optimises the H∞ error,
     not moments). [Certify] verifies this count against
     {!Moments.exact} (rule MOD005). *)

@@ -20,6 +20,13 @@ type stats = {
 
 exception Not_synthesizable of string
 
+val port_aligning_transform : Linalg.Mat.t -> Linalg.Mat.t
+(** [port_aligning_transform rho] for an [n × p] full-column-rank
+    [rho] is the [n × n] congruence [S] with [ρᵀS = [I_p 0]]: after
+    [x = S z] the first [p] transformed states are the port voltages
+    themselves. Shared with the RLCk path ({!Rlck}). Raises
+    {!Not_synthesizable} when [rho] is rank-deficient. *)
+
 val synthesize :
   ?drop_tol:float -> port_names:string array -> Sympvl.Model.t ->
   Circuit.Netlist.t * stats

@@ -165,7 +165,9 @@ let test_adapter_all_engines () =
         [ 1e6; 3.1e7; 1e9 ];
       if not (List.mem eng !exercised) then exercised := eng :: !exercised
   in
-  let mnas = [ mna_of "rc_line"; mna_of "lc_tank"; bt_mna () ] in
+  (* peec_coupled carries the general-form inductor-current block the
+     sprim leg needs *)
+  let mnas = [ mna_of "rc_line"; mna_of "lc_tank"; mna_of "peec_coupled"; bt_mna () ] in
   List.iter (fun m -> List.iter (probe m) Rom.all) mnas;
   List.iter
     (fun eng ->

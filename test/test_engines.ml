@@ -29,7 +29,7 @@ let golden_path base =
 let mna_of base =
   Circuit.Mna.auto (Circuit.Parser.parse_file (netlist_path (base ^ ".cir")))
 
-let names = [ "rc_line"; "lc_tank"; "rl_ladder"; "coupled_lines" ]
+let names = [ "rc_line"; "lc_tank"; "rl_ladder"; "coupled_lines"; "peec_coupled" ]
 
 (* same format as test_golden.ml (each test is its own executable, so
    the 10-line reader is duplicated rather than grown into a library) *)
@@ -72,7 +72,9 @@ let test_shift_agreement () =
 (* the documented support matrix over the shipped examples: AWE cannot
    expand σ = s² pencils; balanced truncation needs the definite RC
    impedance form (and a capacitor on every node — rc_line's input
-   node has none) *)
+   node has none); SPRIM needs the general RLC form's inductor-current
+   block (rc_line is pure RC, lc_tank reduces in σ = s², rl_ladder in
+   the RL susceptance form) *)
 let expected_skips =
   [
     ("lc_tank", `Awe);
@@ -80,6 +82,10 @@ let expected_skips =
     ("lc_tank", `Bt);
     ("rl_ladder", `Bt);
     ("coupled_lines", `Bt);
+    ("peec_coupled", `Bt);
+    ("rc_line", `Sprim);
+    ("lc_tank", `Sprim);
+    ("rl_ladder", `Sprim);
   ]
 
 let engine_opts eng (m : Circuit.Mna.t) =
